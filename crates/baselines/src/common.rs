@@ -1,0 +1,70 @@
+//! Shared plumbing for the baseline systems: the delivery-splitting helper
+//! and the common world type.
+
+use hypersub_core::metrics::Metrics;
+use hypersub_core::model::{SubTarget, SubId};
+use hypersub_core::world::Oracle;
+use hypersub_chord::routing::{next_hop, NextHop};
+use hypersub_chord::ChordState;
+use std::collections::BTreeMap;
+
+/// Shared world for baseline simulations.
+#[derive(Debug, Default)]
+pub struct BaselineWorld {
+    /// Delivery metrics (same type as HyperSub's, for comparability).
+    pub metrics: Metrics,
+    /// Ground truth.
+    pub oracle: Oracle,
+    /// Scripted events (scheme is implicit — baselines run one scheme).
+    pub script: Vec<Option<hypersub_core::model::Event>>,
+}
+
+/// Splits a SubID list by next hop: targets this node is responsible for
+/// are returned as `local`, the rest grouped per neighbor, deterministic
+/// order. The same embedded-tree aggregation HyperSub's Algorithm 5 uses.
+pub fn split_targets(
+    chord: &ChordState,
+    targets: Vec<SubTarget>,
+) -> (Vec<SubTarget>, BTreeMap<usize, Vec<SubTarget>>) {
+    let mut local = Vec::new();
+    let mut by_hop: BTreeMap<usize, Vec<SubTarget>> = BTreeMap::new();
+    for t in targets {
+        if chord.responsible_for(t.nid) {
+            local.push(t);
+        } else {
+            match next_hop(chord, t.nid) {
+                NextHop::Forward(p) => by_hop.entry(p.idx).or_default().push(t),
+                NextHop::Local => local.push(t),
+            }
+        }
+    }
+    (local, by_hop)
+}
+
+/// Converts a matched [`SubId`] list to targets.
+pub fn to_targets(matched: Vec<SubId>) -> Vec<SubTarget> {
+    matched.into_iter().map(SubTarget::sub).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersub_chord::builder::{build_ring, RingConfig};
+    use hypersub_simnet::{SimTime, UniformTopology};
+
+    #[test]
+    fn split_routes_each_target_somewhere() {
+        let topo = UniformTopology::new(16, SimTime::from_millis(5));
+        let states = build_ring(&RingConfig::default(), &topo, 3);
+        let targets: Vec<SubTarget> = states
+            .iter()
+            .map(|s| SubTarget::sub(SubId { nid: s.id, iid: 1 }))
+            .collect();
+        let (local, by_hop) = split_targets(&states[0], targets.clone());
+        let total: usize = local.len() + by_hop.values().map(|v| v.len()).sum::<usize>();
+        assert_eq!(total, targets.len());
+        // Node 0 is responsible exactly for its own id among these.
+        assert_eq!(local.len(), 1);
+        assert_eq!(local[0].nid, states[0].id);
+    }
+}

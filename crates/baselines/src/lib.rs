@@ -1,0 +1,28 @@
+//! Baseline DHT pub/sub systems for comparison with HyperSub.
+//!
+//! The paper's related-work section (§2) positions HyperSub against two
+//! families of DHT-based content-based pub/sub designs; we implement one
+//! representative of each so the benches can demonstrate the trade-offs
+//! the paper claims:
+//!
+//! * [`rendezvous`] — a **Ferry-style single-rendezvous** system (Zhu &
+//!   Hu, ICPP'05): one hash point per scheme stores *all* subscriptions
+//!   and matches every event. Delivery uses the same embedded-tree SubID
+//!   splitting as HyperSub. The paper's criticism: "it used a small set
+//!   of peers for storing subscriptions and matching events, which may
+//!   cause a serious scalability concern" — visible as extreme load
+//!   concentration in the `baseline_compare` bench.
+//! * [`attr_ring`] — a **Triantafillou/Aekaterinidis-style attribute
+//!   range** system (DEBS'04): each attribute's domain is mapped onto the
+//!   ring and a subscription is replicated onto every node whose arc
+//!   intersects its range on a chosen attribute. The paper's criticism:
+//!   "subscription installation/reinforcement will involve a large number
+//!   of nodes and messages" — visible as per-subscription installation
+//!   cost.
+//!
+//! Both reuse the Chord substrate ([`hypersub_chord`]) and the metric
+//! sinks from [`hypersub_core`], so results are directly comparable.
+
+pub mod attr_ring;
+pub mod common;
+pub mod rendezvous;

@@ -1,0 +1,132 @@
+//! Criterion microbenchmarks for the hot paths of HyperSub: the
+//! locality-preserving hash, zone algebra, repository matching, Chord
+//! routing, and end-to-end publish/deliver on a small network.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hypersub_chord::builder::{build_ring, RingConfig};
+use hypersub_chord::routing::route_path;
+use hypersub_core::config::SystemConfig;
+use hypersub_core::model::{Registry, SubId, Subscription};
+use hypersub_core::repo::{StoredSub, ZoneRepo};
+use hypersub_core::sim::{Network, NetworkParams};
+use hypersub_lph::{lph_point, lph_rect, ContentSpace, Point, Rect, ZoneCode, ZoneParams};
+use hypersub_simnet::{SimTime, UniformTopology};
+use hypersub_workload::{WorkloadGen, WorkloadSpec};
+
+fn bench_lph(c: &mut Criterion) {
+    let params = ZoneParams::base2_level20();
+    let space = ContentSpace::uniform(4, 0.0, 10_000.0);
+    let mut gen = WorkloadGen::new(WorkloadSpec::paper_table1(), 1);
+    let points: Vec<Point> = (0..1024).map(|_| gen.event_point()).collect();
+    let rects: Vec<Rect> = (0..1024).map(|_| gen.subscription().rect).collect();
+
+    let mut i = 0;
+    c.bench_function("lph_point (4d, base2/level20)", |b| {
+        b.iter(|| {
+            i = (i + 1) % points.len();
+            black_box(lph_point(&params, &space, &points[i]))
+        })
+    });
+    let mut j = 0;
+    c.bench_function("lph_rect (4d, base2/level20)", |b| {
+        b.iter(|| {
+            j = (j + 1) % rects.len();
+            black_box(lph_rect(&params, &space, &rects[j]))
+        })
+    });
+}
+
+fn bench_zone_algebra(c: &mut Criterion) {
+    let params = ZoneParams::base2_level20();
+    let space = ContentSpace::uniform(4, 0.0, 10_000.0);
+    let mut zone = ZoneCode::ROOT;
+    for d in [1, 0, 1, 1, 0, 1, 0, 0, 1, 1] {
+        zone = zone.child(&params, d);
+    }
+    c.bench_function("zone key", |b| b.iter(|| black_box(zone.key(&params))));
+    c.bench_function("zone extent (level 10)", |b| {
+        b.iter(|| black_box(zone.extent(&params, &space)))
+    });
+}
+
+fn bench_repo_match(c: &mut Criterion) {
+    let mut gen = WorkloadGen::new(WorkloadSpec::paper_table1(), 2);
+    let mut repo = ZoneRepo::new(1);
+    for i in 0..1000u64 {
+        let sub = gen.subscription();
+        repo.insert(
+            SubId { nid: i, iid: 1 },
+            StoredSub::Real {
+                proj: sub.rect.clone(),
+                full: sub.rect,
+            },
+        );
+    }
+    let points: Vec<Point> = (0..256).map(|_| gen.event_point()).collect();
+    let mut i = 0;
+    c.bench_function("repo match_point (1000 entries)", |b| {
+        b.iter(|| {
+            i = (i + 1) % points.len();
+            black_box(repo.match_point(&points[i], &points[i]))
+        })
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = UniformTopology::new(1024, SimTime::from_millis(10));
+    let states = build_ring(&RingConfig::default(), &topo, 9);
+    let mut k = 0u64;
+    c.bench_function("chord route_path (1024 nodes)", |b| {
+        b.iter(|| {
+            k = k.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            black_box(route_path(&states, (k % 1024) as usize, k))
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let spec = WorkloadSpec::paper_table1();
+    let registry = Registry::new(vec![spec.scheme_def(0)]);
+    let mut net = Network::build(NetworkParams {
+        nodes: 64,
+        registry,
+        config: SystemConfig::default(),
+        seed: 3,
+        ..NetworkParams::default()
+    });
+    let mut gen = WorkloadGen::new(spec, 3);
+    for node in 0..64 {
+        for _ in 0..4 {
+            net.subscribe(node, 0, gen.subscription());
+        }
+    }
+    net.run_to_quiescence();
+    let mut n = 0usize;
+    c.bench_function("publish + full delivery (64 nodes, 256 subs)", |b| {
+        b.iter(|| {
+            n = (n + 1) % 64;
+            net.publish(n, 0, gen.event_point());
+            net.run_to_quiescence();
+        })
+    });
+
+    let mut m = 0usize;
+    c.bench_function("subscribe + install (64 nodes)", |b| {
+        b.iter(|| {
+            m = (m + 1) % 64;
+            let sub: Subscription = gen.subscription();
+            net.subscribe(m, 0, sub);
+            net.run_to_quiescence();
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lph,
+    bench_zone_algebra,
+    bench_repo_match,
+    bench_routing,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Identifier-circle arithmetic.
+//!
+//! Chord correctness rests entirely on interval membership on a ring of
+//! 2^64 identifiers. All intervals here are *clockwise*: `in_open_closed(a,
+//! x, b)` asks whether walking clockwise from `a` one meets `x` no later
+//! than `b`.
+
+/// A 64-bit Chord identifier (node ID or key).
+pub type NodeId = u64;
+
+/// Clockwise distance from `a` to `b` (0 when equal).
+#[inline]
+pub fn clockwise_distance(a: NodeId, b: NodeId) -> u64 {
+    b.wrapping_sub(a)
+}
+
+/// Is `x` in the clockwise-open-closed interval `(a, b]`?
+///
+/// When `a == b` the interval is the whole ring minus nothing — every `x`
+/// except... by Chord convention `(a, a]` denotes the *full ring*, so this
+/// returns `true` for all `x != a` and also for `x == a` (successor of a
+/// key equal to the only node's id is that node).
+#[inline]
+pub fn in_open_closed(a: NodeId, x: NodeId, b: NodeId) -> bool {
+    if a == b {
+        return true;
+    }
+    clockwise_distance(a, x) <= clockwise_distance(a, b) && x != a
+}
+
+/// Is `x` in the clockwise-open-open interval `(a, b)`?
+///
+/// `(a, a)` denotes the full ring minus `a` itself.
+#[inline]
+pub fn in_open_open(a: NodeId, x: NodeId, b: NodeId) -> bool {
+    if a == b {
+        return x != a;
+    }
+    clockwise_distance(a, x) < clockwise_distance(a, b) && x != a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_wraps() {
+        assert_eq!(clockwise_distance(10, 15), 5);
+        assert_eq!(clockwise_distance(15, 10), u64::MAX - 4);
+        assert_eq!(clockwise_distance(7, 7), 0);
+    }
+
+    #[test]
+    fn open_closed_no_wrap() {
+        assert!(in_open_closed(10, 15, 20));
+        assert!(in_open_closed(10, 20, 20));
+        assert!(!in_open_closed(10, 10, 20));
+        assert!(!in_open_closed(10, 25, 20));
+        assert!(!in_open_closed(10, 5, 20));
+    }
+
+    #[test]
+    fn open_closed_wrap() {
+        // Interval wrapping through 0: (u64::MAX - 5, 5]
+        let a = u64::MAX - 5;
+        assert!(in_open_closed(a, u64::MAX, 5));
+        assert!(in_open_closed(a, 0, 5));
+        assert!(in_open_closed(a, 5, 5));
+        assert!(!in_open_closed(a, 6, 5));
+        assert!(!in_open_closed(a, a, 5));
+    }
+
+    #[test]
+    fn full_ring_convention() {
+        assert!(in_open_closed(7, 7, 7));
+        assert!(in_open_closed(7, 123, 7));
+        assert!(!in_open_open(7, 7, 7));
+        assert!(in_open_open(7, 123, 7));
+    }
+
+    #[test]
+    fn open_open() {
+        assert!(in_open_open(10, 15, 20));
+        assert!(!in_open_open(10, 20, 20));
+        assert!(!in_open_open(10, 10, 20));
+        assert!(in_open_open(u64::MAX - 1, 0, 3));
+    }
+}

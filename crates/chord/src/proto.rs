@@ -1,0 +1,611 @@
+//! The dynamic Chord protocol: join, stabilize, notify, fix-fingers and
+//! failure eviction.
+//!
+//! The paper runs its measurements on a stabilized network and "leverages
+//! the underlying DHT to deal with nodes join/departure/failure" (§6), so
+//! the maintenance machinery lives here in the DHT layer. It is written as
+//! *effect-returning functions* over [`MaintState`] — handlers return the
+//! messages to send instead of sending them — so that both the standalone
+//! [`ChordNode`] (used for churn tests) and HyperSub's node (which embeds
+//! Chord maintenance inside its own message enum) share one implementation.
+
+use crate::id::{in_open_closed, NodeId};
+use crate::routing::{closest_preceding, next_hop, NextHop};
+use crate::state::{ChordState, Peer, NUM_FINGERS};
+use hypersub_simnet::{Ctx, Node, Payload, SimTime};
+use std::collections::HashSet;
+
+/// Why a lookup was issued; determines what happens with the answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupPurpose {
+    /// A joining node looking up its own successor.
+    Join,
+    /// Refreshing finger-table entry `i`.
+    Finger(u8),
+    /// An application lookup; the token is returned with the answer.
+    App(u64),
+}
+
+/// Chord maintenance wire messages.
+#[derive(Debug, Clone)]
+pub enum ChordMsg {
+    /// Recursive lookup request for the node responsible for `key`.
+    FindSuccessor {
+        /// Key being resolved.
+        key: NodeId,
+        /// Node awaiting the reply.
+        origin: Peer,
+        /// What the origin will do with the answer.
+        purpose: LookupPurpose,
+    },
+    /// Lookup answer, sent directly to the origin.
+    FoundSuccessor {
+        /// Key that was resolved.
+        key: NodeId,
+        /// The responsible node.
+        owner: Peer,
+        /// Echoed purpose.
+        purpose: LookupPurpose,
+    },
+    /// Stabilize probe: asks the successor for its predecessor + list.
+    GetNeighbors,
+    /// Stabilize reply.
+    NeighborsReply {
+        /// Receiver's current predecessor.
+        pred: Option<Peer>,
+        /// Receiver's successor list.
+        succs: Vec<Peer>,
+    },
+    /// "I believe I am your predecessor."
+    Notify {
+        /// The notifying peer.
+        peer: Peer,
+    },
+}
+
+/// Serialized peer size: 8-byte id + 4-byte address.
+const PEER_BYTES: usize = 12;
+/// Packet header, matching the paper's 20-byte event-message header.
+const HEADER_BYTES: usize = 20;
+
+impl Payload for ChordMsg {
+    fn wire_size(&self) -> usize {
+        HEADER_BYTES
+            + match self {
+                ChordMsg::FindSuccessor { .. } => 8 + PEER_BYTES + 2,
+                ChordMsg::FoundSuccessor { .. } => 8 + PEER_BYTES + 2,
+                ChordMsg::GetNeighbors => 0,
+                ChordMsg::NeighborsReply { succs, .. } => PEER_BYTES * (succs.len() + 1),
+                ChordMsg::Notify { .. } => PEER_BYTES,
+            }
+    }
+}
+
+/// Messages a handler wants sent: `(destination index, message)`.
+pub type Sends = Vec<(usize, ChordMsg)>;
+
+/// What a handler produced.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Messages to transmit.
+    pub sends: Sends,
+    /// A completed application lookup `(token, owner)`, if any.
+    pub app_lookup: Option<(u64, Peer)>,
+}
+
+/// Chord state plus maintenance bookkeeping (periodic-task cursors and the
+/// successor failure detector).
+#[derive(Debug, Clone)]
+pub struct MaintState {
+    /// The routing state proper.
+    pub chord: ChordState,
+    /// Successor probed by the last stabilize tick and not yet heard from.
+    awaiting_stab: Option<usize>,
+    /// Predecessor probed by the last stabilize tick and not yet heard
+    /// from (Chord's `check_predecessor`).
+    awaiting_pred: Option<usize>,
+    /// Round-robin finger refresh cursor.
+    next_finger: usize,
+    /// Peers this node has itself observed dead. Gossip (successor lists
+    /// from neighbors) is filtered against this set — otherwise evicted
+    /// nodes leak straight back in and the ring never heals.
+    dead: HashSet<usize>,
+}
+
+impl MaintState {
+    /// Wraps existing routing state.
+    pub fn new(chord: ChordState) -> Self {
+        Self {
+            chord,
+            awaiting_stab: None,
+            awaiting_pred: None,
+            next_finger: 0,
+            dead: HashSet::new(),
+        }
+    }
+
+    /// Adds a successor candidate unless this node observed it dead.
+    fn add_successor_checked(&mut self, p: Peer) {
+        if !self.dead.contains(&p.idx) {
+            self.chord.add_successor(p);
+        }
+    }
+
+    /// Records a peer observed alive (piggybacked maintenance): offers it
+    /// as a predecessor and successor candidate and lifts any tombstone —
+    /// direct evidence of liveness outranks past timeouts.
+    pub fn observe_peer(&mut self, peer: Peer) {
+        if peer.idx == self.chord.idx {
+            return;
+        }
+        self.dead.remove(&peer.idx);
+        self.chord.consider_predecessor(peer);
+        self.chord.add_successor(peer);
+    }
+
+    /// Records a node observed dead (e.g. via a send failure): evicts it
+    /// from all routing state and tombstones it against gossip.
+    pub fn note_dead(&mut self, idx: usize) {
+        self.chord.evict(idx);
+        self.dead.insert(idx);
+        if self.awaiting_stab == Some(idx) {
+            self.awaiting_stab = None;
+        }
+        if self.awaiting_pred == Some(idx) {
+            self.awaiting_pred = None;
+        }
+    }
+
+    /// Begins a join via `bootstrap` (a simulator index of any ring member).
+    pub fn start_join(&mut self, bootstrap: usize) -> Sends {
+        vec![(
+            bootstrap,
+            ChordMsg::FindSuccessor {
+                key: self.chord.id,
+                origin: self.chord.me(),
+                purpose: LookupPurpose::Join,
+            },
+        )]
+    }
+
+    /// Issues an application lookup for `key`; the answer surfaces later as
+    /// [`Outcome::app_lookup`] with this `token`.
+    pub fn start_lookup(&mut self, key: NodeId, token: u64) -> Sends {
+        // Resolve locally when possible so a lone node still answers.
+        match next_hop(&self.chord, key) {
+            NextHop::Local => Vec::new(), // caller should check responsible_for first
+            NextHop::Forward(p) => vec![(
+                p.idx,
+                ChordMsg::FindSuccessor {
+                    key,
+                    origin: self.chord.me(),
+                    purpose: LookupPurpose::App(token),
+                },
+            )],
+        }
+    }
+
+    /// One stabilize tick: evict an unresponsive successor, then probe the
+    /// current one. Call at a fixed period.
+    pub fn stabilize_tick(&mut self) -> Sends {
+        if let Some(idx) = self.awaiting_stab.take() {
+            // No reply since last tick: declare it dead.
+            self.note_dead(idx);
+        }
+        if let Some(idx) = self.awaiting_pred.take() {
+            // Predecessor unresponsive: clear it so the true predecessor
+            // (who keeps notifying us) can take the slot, and so our
+            // responsibility arc is not stuck behind a dead node.
+            self.note_dead(idx);
+        }
+        let mut sends = Vec::new();
+        if let Some(succ) = self.chord.successor() {
+            self.awaiting_stab = Some(succ.idx);
+            sends.push((succ.idx, ChordMsg::GetNeighbors));
+        }
+        if let Some(pred) = self.chord.predecessor {
+            if Some(pred.idx) != self.awaiting_stab {
+                self.awaiting_pred = Some(pred.idx);
+                sends.push((pred.idx, ChordMsg::GetNeighbors));
+            }
+        }
+        sends
+    }
+
+    /// One fix-fingers tick: refreshes the next finger in round-robin.
+    pub fn fix_fingers_tick(&mut self) -> Sends {
+        let i = self.next_finger;
+        self.next_finger = (self.next_finger + 1) % NUM_FINGERS;
+        let start = self.chord.finger_start(i);
+        if self.chord.responsible_for(start) {
+            self.chord.fingers[i] = None;
+            return Vec::new();
+        }
+        match next_hop(&self.chord, start) {
+            NextHop::Local => Vec::new(),
+            NextHop::Forward(p) => vec![(
+                p.idx,
+                ChordMsg::FindSuccessor {
+                    key: start,
+                    origin: self.chord.me(),
+                    purpose: LookupPurpose::Finger(i as u8),
+                },
+            )],
+        }
+    }
+
+    /// Handles an incoming maintenance message.
+    pub fn handle(&mut self, from: usize, msg: ChordMsg) -> Outcome {
+        let mut out = Outcome::default();
+        match msg {
+            ChordMsg::FindSuccessor {
+                key,
+                origin,
+                purpose,
+            } => {
+                // Bootstrap: a node with no successors (ring of one) adopts
+                // any live contact as its first successor candidate so the
+                // two-node ring can form.
+                if self.chord.successors.is_empty() {
+                    self.add_successor_checked(origin);
+                }
+                let st = &self.chord;
+                if st.responsible_for(key) {
+                    out.sends.push((
+                        origin.idx,
+                        ChordMsg::FoundSuccessor {
+                            key,
+                            owner: st.me(),
+                            purpose,
+                        },
+                    ));
+                } else if let Some(succ) = st.successor() {
+                    if in_open_closed(st.id, key, succ.id) {
+                        out.sends.push((
+                            origin.idx,
+                            ChordMsg::FoundSuccessor {
+                                key,
+                                owner: succ,
+                                purpose,
+                            },
+                        ));
+                    } else {
+                        let hop = closest_preceding(st, key).unwrap_or(succ);
+                        out.sends.push((
+                            hop.idx,
+                            ChordMsg::FindSuccessor {
+                                key,
+                                origin,
+                                purpose,
+                            },
+                        ));
+                    }
+                }
+                // A node with no successor and not responsible: drop (it is
+                // not part of any ring yet and should not be routed to).
+            }
+            ChordMsg::FoundSuccessor { key, owner, purpose } => match purpose {
+                LookupPurpose::Join => {
+                    self.chord.add_successor(owner);
+                    out.sends
+                        .push((owner.idx, ChordMsg::Notify { peer: self.chord.me() }));
+                }
+                LookupPurpose::Finger(i) => {
+                    self.chord.fingers[i as usize] = Some(owner);
+                }
+                LookupPurpose::App(token) => {
+                    let _ = key;
+                    out.app_lookup = Some((token, owner));
+                }
+            },
+            ChordMsg::GetNeighbors => {
+                out.sends.push((
+                    from,
+                    ChordMsg::NeighborsReply {
+                        pred: self.chord.predecessor,
+                        succs: self.chord.successors.clone(),
+                    },
+                ));
+            }
+            ChordMsg::NeighborsReply { pred, succs } => {
+                let is_succ_probe = self.awaiting_stab == Some(from);
+                if is_succ_probe {
+                    self.awaiting_stab = None;
+                }
+                if self.awaiting_pred == Some(from) {
+                    self.awaiting_pred = None;
+                    if !is_succ_probe {
+                        // Predecessor liveness probe only: its successor
+                        // list points at (and behind) us and would re-seed
+                        // entries we have deliberately evicted.
+                        return out;
+                    }
+                }
+                // Chord stabilize: if our successor's predecessor sits
+                // between us and it, that node is our better successor
+                // (add_successor keeps the list clockwise-sorted, so simply
+                // offering it implements the rule).
+                if let Some(p) = pred {
+                    if p.idx != self.chord.idx {
+                        self.add_successor_checked(p);
+                    }
+                }
+                if self.chord.successor().map(|s| s.idx) == Some(from) {
+                    // Still our immediate successor: adopt its list
+                    // wholesale ([succ] ++ succ.list, the real protocol's
+                    // *replace* semantics). Merging instead would let
+                    // stale dead entries linger forever.
+                    let succ = self.chord.successor().expect("checked above");
+                    self.chord.successors.clear();
+                    self.chord.add_successor(succ);
+                    for s in succs {
+                        if s.idx != self.chord.idx {
+                            self.add_successor_checked(s);
+                        }
+                    }
+                } else {
+                    for s in succs {
+                        if s.idx != self.chord.idx {
+                            self.add_successor_checked(s);
+                        }
+                    }
+                }
+                if let Some(succ) = self.chord.successor() {
+                    out.sends
+                        .push((succ.idx, ChordMsg::Notify { peer: self.chord.me() }));
+                }
+            }
+            ChordMsg::Notify { peer } => {
+                self.chord.consider_predecessor(peer);
+                // Bootstrap symmetry: a successor-less node forming a
+                // two-node ring adopts its notifier as successor.
+                if self.chord.successors.is_empty() {
+                    self.add_successor_checked(peer);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Default stabilize period for the standalone node.
+pub const STABILIZE_PERIOD: SimTime = SimTime::from_millis(500);
+/// Default fix-fingers period for the standalone node.
+pub const FIX_FINGERS_PERIOD: SimTime = SimTime::from_millis(250);
+
+/// Timer token: run a stabilize tick and re-arm.
+pub const TOKEN_STABILIZE: u64 = 1;
+/// Timer token: run a fix-fingers tick and re-arm.
+pub const TOKEN_FIX_FINGERS: u64 = 2;
+
+/// World state for the standalone Chord node: completed app lookups.
+#[derive(Debug, Default)]
+pub struct ChordWorld {
+    /// `(token, owner peer)` pairs in completion order.
+    pub lookups: Vec<(u64, Peer)>,
+}
+
+/// A self-maintaining Chord node runnable directly on `hypersub-simnet`,
+/// used by the churn tests and the churn example.
+#[derive(Debug, Clone)]
+pub struct ChordNode {
+    /// Protocol state.
+    pub maint: MaintState,
+}
+
+impl ChordNode {
+    /// A node that considers itself a singleton ring.
+    pub fn new(id: NodeId, idx: usize, succ_list_len: usize) -> Self {
+        Self {
+            maint: MaintState::new(ChordState::new(id, idx, succ_list_len)),
+        }
+    }
+
+    /// Arms the periodic maintenance timers; call once after creation.
+    pub fn arm_timers<W>(ctx: &mut Ctx<'_, ChordMsg, W>) {
+        ctx.set_timer(STABILIZE_PERIOD, TOKEN_STABILIZE);
+        ctx.set_timer(FIX_FINGERS_PERIOD, TOKEN_FIX_FINGERS);
+    }
+}
+
+impl Node<ChordMsg, ChordWorld> for ChordNode {
+    fn on_send_failed(&mut self, _ctx: &mut Ctx<'_, ChordMsg, ChordWorld>, dst: usize, _msg: ChordMsg) {
+        self.maint.note_dead(dst);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ChordMsg, ChordWorld>, from: usize, msg: ChordMsg) {
+        let out = self.maint.handle(from, msg);
+        if let Some(done) = out.app_lookup {
+            ctx.world.lookups.push(done);
+        }
+        for (dst, m) in out.sends {
+            ctx.send(dst, m);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ChordMsg, ChordWorld>, token: u64) {
+        let sends = match token {
+            TOKEN_STABILIZE => {
+                ctx.set_timer(STABILIZE_PERIOD, TOKEN_STABILIZE);
+                self.maint.stabilize_tick()
+            }
+            TOKEN_FIX_FINGERS => {
+                ctx.set_timer(FIX_FINGERS_PERIOD, TOKEN_FIX_FINGERS);
+                self.maint.fix_fingers_tick()
+            }
+            _ => Vec::new(),
+        };
+        for (dst, m) in sends {
+            ctx.send(dst, m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersub_simnet::{Sim, SimTime, UniformTopology};
+    use std::sync::Arc;
+
+    fn make_sim(n: usize) -> Sim<ChordNode, ChordMsg, ChordWorld> {
+        let topo = Arc::new(UniformTopology::new(n, SimTime::from_millis(10)));
+        let ids = crate::builder::random_ids(n, 99);
+        let nodes: Vec<ChordNode> = ids
+            .iter()
+            .enumerate()
+            .map(|(idx, &id)| ChordNode::new(id, idx, 8))
+            .collect();
+        Sim::new(topo, nodes, ChordWorld::default(), 5)
+    }
+
+    /// Joins nodes 1..n via node 0 and runs maintenance long enough to
+    /// stabilize.
+    fn stabilized_sim(n: usize) -> Sim<ChordNode, ChordMsg, ChordWorld> {
+        let mut sim = make_sim(n);
+        for i in 0..n {
+            sim.with_node_ctx(i, |node, ctx| {
+                ChordNode::arm_timers(ctx);
+                if i > 0 {
+                    for (dst, m) in node.maint.start_join(0) {
+                        ctx.send(dst, m);
+                    }
+                }
+            });
+        }
+        // Plenty of stabilize rounds for an n-node ring.
+        sim.run_until(SimTime::from_secs(60));
+        sim
+    }
+
+    fn ring_is_consistent(sim: &Sim<ChordNode, ChordMsg, ChordWorld>, alive: &[usize]) {
+        // Sort alive nodes by id; each node's first successor must be the
+        // next alive node on the ring.
+        let mut order: Vec<(u64, usize)> = alive
+            .iter()
+            .map(|&i| (sim.node(i).maint.chord.id, i))
+            .collect();
+        order.sort_unstable();
+        let n = order.len();
+        for (pos, &(_, idx)) in order.iter().enumerate() {
+            let expected = order[(pos + 1) % n].1;
+            let succ = sim
+                .node(idx)
+                .maint
+                .chord
+                .successor()
+                .expect("stabilized node has successor");
+            assert_eq!(
+                succ.idx, expected,
+                "node {idx} successor {0} != ring-next {expected}",
+                succ.idx
+            );
+        }
+    }
+
+    #[test]
+    fn joins_converge_to_correct_ring() {
+        let n = 24;
+        let sim = stabilized_sim(n);
+        let alive: Vec<usize> = (0..n).collect();
+        ring_is_consistent(&sim, &alive);
+    }
+
+    #[test]
+    fn lookups_resolve_after_stabilization() {
+        let n = 16;
+        let mut sim = stabilized_sim(n);
+        // Look up every node's exact id from node 3.
+        let targets: Vec<(u64, u64)> = (0..n)
+            .map(|i| (i as u64, sim.node(i).maint.chord.id))
+            .collect();
+        for &(token, key) in &targets {
+            sim.with_node_ctx(3, |node, ctx| {
+                if node.maint.chord.responsible_for(key) {
+                    ctx.world.lookups.push((token, node.maint.chord.me()));
+                } else {
+                    for (dst, m) in node.maint.start_lookup(key, token) {
+                        ctx.send(dst, m);
+                    }
+                }
+            });
+        }
+        sim.run_until(SimTime::from_secs(120));
+        let lookups = &sim.world().lookups;
+        assert_eq!(lookups.len(), n);
+        for &(token, owner) in lookups {
+            assert_eq!(
+                owner.idx, token as usize,
+                "lookup for node {token}'s id must return that node"
+            );
+        }
+    }
+
+    #[test]
+    fn failure_is_evicted_and_ring_heals() {
+        let n = 12;
+        let mut sim = stabilized_sim(n);
+        let dead = 5usize;
+        sim.fail(dead);
+        sim.run_until(SimTime::from_secs(180));
+        let alive: Vec<usize> = (0..n).filter(|&i| i != dead).collect();
+        ring_is_consistent(&sim, &alive);
+        for &i in &alive {
+            let st = &sim.node(i).maint.chord;
+            assert!(
+                st.successors.iter().all(|p| p.idx != dead),
+                "node {i} still lists dead successor"
+            );
+        }
+    }
+
+    #[test]
+    fn observe_peer_piggyback_updates_state() {
+        let mut m = MaintState::new(ChordState::new(100, 0, 4));
+        let p = Peer { id: 90, idx: 3 };
+        // Tombstoned peer comes back via a piggybacked observation.
+        m.note_dead(3);
+        m.observe_peer(p);
+        assert_eq!(m.chord.predecessor, Some(p));
+        // And it is a successor candidate again.
+        m.handle(
+            3,
+            ChordMsg::NeighborsReply {
+                pred: None,
+                succs: vec![p],
+            },
+        );
+        assert!(m.chord.successors.contains(&p));
+        // Self-observation is a no-op.
+        m.observe_peer(Peer { id: 100, idx: 0 });
+        assert_eq!(m.chord.predecessor, Some(p));
+    }
+
+    #[test]
+    fn late_join_integrates() {
+        let n = 10;
+        let mut sim = make_sim(n);
+        // Stabilize the first 9 nodes only.
+        for i in 0..n - 1 {
+            sim.with_node_ctx(i, |node, ctx| {
+                ChordNode::arm_timers(ctx);
+                if i > 0 {
+                    for (dst, m) in node.maint.start_join(0) {
+                        ctx.send(dst, m);
+                    }
+                }
+            });
+        }
+        sim.run_until(SimTime::from_secs(30));
+        // Now join the last node.
+        let last = n - 1;
+        sim.with_node_ctx(last, |node, ctx| {
+            ChordNode::arm_timers(ctx);
+            for (dst, m) in node.maint.start_join(0) {
+                ctx.send(dst, m);
+            }
+        });
+        sim.run_until(SimTime::from_secs(90));
+        let alive: Vec<usize> = (0..n).collect();
+        ring_is_consistent(&sim, &alive);
+    }
+}

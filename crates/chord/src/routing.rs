@@ -1,0 +1,166 @@
+//! Greedy recursive routing.
+//!
+//! HyperSub routes everything — subscription installation (Algorithm 2),
+//! event publication (Algorithm 4) and per-SubID event delivery
+//! (Algorithm 5 line 20: "find neighbor node N_j in the routing table whose
+//! ID is equal to or immediately precedes subid.nid") — by the same greedy
+//! rule implemented here: deliver locally if responsible, otherwise forward
+//! to the closest preceding routing-table entry.
+
+use crate::id::{in_open_closed, in_open_open, NodeId};
+use crate::state::{ChordState, Peer};
+
+/// Routing decision for a key at some node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextHop {
+    /// This node is the key's successor — consume locally.
+    Local,
+    /// Forward to this peer.
+    Forward(Peer),
+}
+
+/// Chord's `closest_preceding_node`: the routing-table entry (fingers +
+/// successors) whose id most immediately precedes `key`, strictly within
+/// `(state.id, key)`.
+pub fn closest_preceding(state: &ChordState, key: NodeId) -> Option<Peer> {
+    let mut best: Option<Peer> = None;
+    let consider = |best: &mut Option<Peer>, p: Peer| {
+        if in_open_open(state.id, p.id, key) {
+            match best {
+                None => *best = Some(p),
+                Some(b) => {
+                    // Closer to key == larger clockwise distance from me.
+                    if crate::id::clockwise_distance(state.id, p.id)
+                        > crate::id::clockwise_distance(state.id, b.id)
+                    {
+                        *best = Some(p);
+                    }
+                }
+            }
+        }
+    };
+    for f in state.fingers.iter().flatten() {
+        consider(&mut best, *f);
+    }
+    for s in &state.successors {
+        consider(&mut best, *s);
+    }
+    best
+}
+
+/// Decides where `key` goes from `state`'s point of view.
+///
+/// Termination: if the key lies between this node and its immediate
+/// successor, the successor is responsible (`Local` happens *at* that
+/// successor); otherwise we forward to a strictly closer preceding node,
+/// so the clockwise distance to `key` decreases every hop.
+pub fn next_hop(state: &ChordState, key: NodeId) -> NextHop {
+    if state.responsible_for(key) {
+        return NextHop::Local;
+    }
+    if let Some(succ) = state.successor() {
+        if in_open_closed(state.id, key, succ.id) {
+            return NextHop::Forward(succ);
+        }
+    }
+    match closest_preceding(state, key) {
+        Some(p) => NextHop::Forward(p),
+        // Routing table empty or useless: fall back to the successor.
+        None => match state.successor() {
+            Some(s) => NextHop::Forward(s),
+            None => NextHop::Local, // singleton ring
+        },
+    }
+}
+
+/// Walks the route for `key` starting at node index `from` over a slice of
+/// states (index == simulator index). Returns the node indices visited,
+/// ending at the responsible node. Used by tests and by setup code that
+/// needs hop counts without scheduling messages.
+///
+/// # Panics
+/// Panics if the route exceeds `4 * 64` hops, which on a consistent ring
+/// can only mean corrupted routing state.
+pub fn route_path(states: &[ChordState], from: usize, key: NodeId) -> Vec<usize> {
+    let mut path = vec![from];
+    let mut cur = from;
+    for _ in 0..(4 * 64) {
+        match next_hop(&states[cur], key) {
+            NextHop::Local => return path,
+            NextHop::Forward(p) => {
+                cur = p.idx;
+                path.push(cur);
+            }
+        }
+    }
+    panic!("routing did not terminate for key {key:#x} from {from}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_ring, RingConfig};
+    use hypersub_simnet::{SimTime, UniformTopology};
+
+    fn ring(n: usize) -> Vec<ChordState> {
+        let topo = UniformTopology::new(n, SimTime::from_millis(10));
+        build_ring(&RingConfig::default(), &topo, 42)
+    }
+
+    #[test]
+    fn route_terminates_at_responsible_node() {
+        let states = ring(64);
+        for key in [0u64, 1, u64::MAX, 0x8000_0000_0000_0000] {
+            let path = route_path(&states, 0, key);
+            let last = &states[*path.last().unwrap()];
+            assert!(last.responsible_for(key), "key {key:#x}");
+        }
+    }
+
+    #[test]
+    fn all_pairs_route_correctly_small_ring() {
+        let states = ring(16);
+        for from in 0..16 {
+            for target in 0..16 {
+                let key = states[target].id;
+                let path = route_path(&states, from, key);
+                assert_eq!(
+                    *path.last().unwrap(),
+                    target,
+                    "routing to an existing id must end at that node"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hops_logarithmic() {
+        let states = ring(256);
+        let mut max_hops = 0;
+        for from in 0..states.len() {
+            let key = states[(from + 128) % 256].id.wrapping_add(1);
+            let path = route_path(&states, from, key);
+            max_hops = max_hops.max(path.len() - 1);
+        }
+        // log2(256) = 8; PNS/successor lists keep it close to that.
+        assert!(max_hops <= 16, "max hops {max_hops} too large for 256 nodes");
+    }
+
+    #[test]
+    fn singleton_ring_is_local() {
+        let states = ring(1);
+        assert_eq!(next_hop(&states[0], 12345), NextHop::Local);
+    }
+
+    #[test]
+    fn closest_preceding_never_overshoots() {
+        let states = ring(64);
+        let s = &states[0];
+        for shift in 1..64 {
+            let key = s.id.wrapping_add(1u64 << shift);
+            if let Some(p) = closest_preceding(s, key) {
+                assert!(crate::id::in_open_open(s.id, p.id, key));
+            }
+        }
+    }
+}

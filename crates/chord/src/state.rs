@@ -1,0 +1,269 @@
+//! Per-node Chord routing state.
+
+use crate::id::{in_open_closed, in_open_open, NodeId};
+
+/// A reference to another node: its ring identifier plus its simulator
+/// index (the "network address").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Peer {
+    /// Ring identifier.
+    pub id: NodeId,
+    /// Simulator node index (stands in for an IP address).
+    pub idx: usize,
+}
+
+/// Number of finger-table entries (one per identifier bit).
+pub const NUM_FINGERS: usize = 64;
+
+/// Chord routing state for one node.
+///
+/// Invariants maintained by the builder and the dynamic protocol:
+/// * `successors` is sorted by clockwise distance from `id` and never
+///   contains `id` itself;
+/// * `fingers[i]`, when set, is the node the protocol currently believes
+///   to be `successor(id + 2^i)`.
+#[derive(Debug, Clone)]
+pub struct ChordState {
+    /// This node's ring identifier.
+    pub id: NodeId,
+    /// This node's simulator index.
+    pub idx: usize,
+    /// Immediate predecessor on the ring, if known.
+    pub predecessor: Option<Peer>,
+    /// Successor list, closest first.
+    pub successors: Vec<Peer>,
+    /// Finger table; entry `i` targets `id + 2^i`.
+    pub fingers: Vec<Option<Peer>>,
+    /// Maximum successor-list length.
+    pub succ_list_len: usize,
+}
+
+impl ChordState {
+    /// Fresh state for a node that has not joined any ring.
+    pub fn new(id: NodeId, idx: usize, succ_list_len: usize) -> Self {
+        assert!(succ_list_len >= 1, "successor list must hold at least one entry");
+        Self {
+            id,
+            idx,
+            predecessor: None,
+            successors: Vec::new(),
+            fingers: vec![None; NUM_FINGERS],
+            succ_list_len,
+        }
+    }
+
+    /// This node as a [`Peer`].
+    pub fn me(&self) -> Peer {
+        Peer {
+            id: self.id,
+            idx: self.idx,
+        }
+    }
+
+    /// The immediate successor, if any.
+    pub fn successor(&self) -> Option<Peer> {
+        self.successors.first().copied()
+    }
+
+    /// Is this node responsible for `key` (i.e. `key ∈ (predecessor, id]`)?
+    ///
+    /// A singleton ring (no predecessor, no successors) owns every key; a
+    /// node that knows successors but not yet its predecessor (mid-join)
+    /// conservatively claims only its own id.
+    pub fn responsible_for(&self, key: NodeId) -> bool {
+        match self.predecessor {
+            Some(p) => in_open_closed(p.id, key, self.id),
+            None => self.successors.is_empty() || key == self.id,
+        }
+    }
+
+    /// The finger-table start for entry `i`: `id + 2^i`.
+    pub fn finger_start(&self, i: usize) -> NodeId {
+        self.id.wrapping_add(1u64 << i)
+    }
+
+    /// Inserts `peer` into the successor list, keeping it sorted by
+    /// clockwise distance, deduplicated and truncated to `succ_list_len`.
+    pub fn add_successor(&mut self, peer: Peer) {
+        if peer.id == self.id {
+            return;
+        }
+        if self.successors.contains(&peer) {
+            return;
+        }
+        self.successors.push(peer);
+        let me = self.id;
+        self.successors
+            .sort_by_key(|p| crate::id::clockwise_distance(me, p.id));
+        self.successors.truncate(self.succ_list_len);
+    }
+
+    /// Removes a peer (by simulator index) from successors and fingers —
+    /// used when a node is detected dead.
+    pub fn evict(&mut self, idx: usize) {
+        self.successors.retain(|p| p.idx != idx);
+        for f in &mut self.fingers {
+            if f.map(|p| p.idx) == Some(idx) {
+                *f = None;
+            }
+        }
+        if self.predecessor.map(|p| p.idx) == Some(idx) {
+            self.predecessor = None;
+        }
+    }
+
+    /// Offers `peer` as a predecessor candidate (Chord `notify`). Accepts
+    /// if closer than the current predecessor.
+    pub fn consider_predecessor(&mut self, peer: Peer) {
+        if peer.id == self.id {
+            return;
+        }
+        match self.predecessor {
+            None => self.predecessor = Some(peer),
+            Some(p) => {
+                if in_open_open(p.id, peer.id, self.id) {
+                    self.predecessor = Some(peer);
+                }
+            }
+        }
+    }
+
+    /// Ring-adjacent neighbors (successor list + predecessor) — the
+    /// "neighbors" §4's load balancer probes and migrates to. Migration
+    /// partitions subscriptions by clockwise arcs, which only makes sense
+    /// over ring-adjacent peers, and probing them keeps the mechanism
+    /// light-weight compared to probing the whole finger table.
+    pub fn close_neighbors(&self) -> Vec<Peer> {
+        let mut out: Vec<Peer> = Vec::new();
+        for &s in &self.successors {
+            if s.idx != self.idx && !out.contains(&s) {
+                out.push(s);
+            }
+        }
+        if let Some(p) = self.predecessor {
+            if p.idx != self.idx && !out.contains(&p) {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// All distinct routing neighbors (successors + fingers + predecessor).
+    pub fn neighbors(&self) -> Vec<Peer> {
+        let mut out: Vec<Peer> = Vec::new();
+        let mut push = |p: Peer| {
+            if p.idx != self.idx && !out.contains(&p) {
+                out.push(p);
+            }
+        };
+        for &s in &self.successors {
+            push(s);
+        }
+        for f in self.fingers.iter().flatten() {
+            push(*f);
+        }
+        if let Some(p) = self.predecessor {
+            push(p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peer(id: NodeId) -> Peer {
+        Peer {
+            id,
+            idx: id as usize,
+        }
+    }
+
+    #[test]
+    fn successor_list_sorted_and_truncated() {
+        let mut s = ChordState::new(100, 0, 3);
+        for id in [500, 200, 900, 101, 300] {
+            s.add_successor(peer(id));
+        }
+        let ids: Vec<NodeId> = s.successors.iter().map(|p| p.id).collect();
+        assert_eq!(ids, vec![101, 200, 300]);
+    }
+
+    #[test]
+    fn successor_list_wraps_around_ring() {
+        let mut s = ChordState::new(u64::MAX - 10, 0, 4);
+        s.add_successor(peer(5));
+        s.add_successor(peer(u64::MAX - 2));
+        s.add_successor(peer(1000));
+        let ids: Vec<NodeId> = s.successors.iter().map(|p| p.id).collect();
+        assert_eq!(ids, vec![u64::MAX - 2, 5, 1000]);
+    }
+
+    #[test]
+    fn no_self_or_duplicate_successors() {
+        let mut s = ChordState::new(10, 0, 4);
+        s.add_successor(peer(10));
+        s.add_successor(peer(20));
+        s.add_successor(peer(20));
+        assert_eq!(s.successors.len(), 1);
+    }
+
+    #[test]
+    fn responsibility() {
+        let mut s = ChordState::new(100, 0, 4);
+        // Singleton: owns everything.
+        assert!(s.responsible_for(100));
+        assert!(s.responsible_for(99));
+        // Mid-join (successor known, predecessor not): owns only own id.
+        s.add_successor(peer(200));
+        assert!(s.responsible_for(100));
+        assert!(!s.responsible_for(99));
+        s.predecessor = Some(peer(50));
+        assert!(s.responsible_for(51));
+        assert!(s.responsible_for(100));
+        assert!(!s.responsible_for(50));
+        assert!(!s.responsible_for(101));
+    }
+
+    #[test]
+    fn consider_predecessor_takes_closer() {
+        let mut s = ChordState::new(100, 0, 4);
+        s.consider_predecessor(peer(40));
+        assert_eq!(s.predecessor, Some(peer(40)));
+        s.consider_predecessor(peer(80));
+        assert_eq!(s.predecessor, Some(peer(80)));
+        s.consider_predecessor(peer(60));
+        assert_eq!(s.predecessor, Some(peer(80)));
+    }
+
+    #[test]
+    fn evict_scrubs_everything() {
+        let mut s = ChordState::new(100, 0, 4);
+        s.add_successor(Peer { id: 200, idx: 7 });
+        s.fingers[3] = Some(Peer { id: 200, idx: 7 });
+        s.predecessor = Some(Peer { id: 50, idx: 7 });
+        s.evict(7);
+        assert!(s.successors.is_empty());
+        assert!(s.fingers[3].is_none());
+        assert!(s.predecessor.is_none());
+    }
+
+    #[test]
+    fn finger_start_wraps() {
+        let s = ChordState::new(u64::MAX, 0, 4);
+        assert_eq!(s.finger_start(0), 0);
+        assert_eq!(s.finger_start(63), (1u64 << 63) - 1);
+    }
+
+    #[test]
+    fn neighbors_dedup() {
+        let mut s = ChordState::new(100, 0, 4);
+        let p = Peer { id: 200, idx: 2 };
+        s.add_successor(p);
+        s.fingers[5] = Some(p);
+        s.predecessor = Some(Peer { id: 50, idx: 3 });
+        let n = s.neighbors();
+        assert_eq!(n.len(), 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! System configuration.
+
+use hypersub_lph::ZoneParams;
+use hypersub_simnet::SimTime;
+
+/// Load-balancing configuration (§4, "Dynamic Subscriptions Migration").
+#[derive(Debug, Clone)]
+pub struct LbConfig {
+    /// Master switch (the paper's "no LB" vs "LB" configurations).
+    pub enabled: bool,
+    /// Probe/evaluate period.
+    pub period: SimTime,
+    /// Threshold factor δ: a node is heavily loaded when its load exceeds
+    /// the neighbor average by `(1 + delta)`.
+    pub delta: f64,
+    /// Probing level P_l: 1 probes neighbors, 2 also neighbors' neighbors.
+    pub probe_level: u8,
+    /// Maximum number of migration targets k chosen per round.
+    pub max_targets: usize,
+    /// Absolute load floor (scaled by node capacity) below which a node
+    /// never considers itself overloaded — keeps the relative rule
+    /// meaningful when neighbors are empty and avoids migration churn for
+    /// trivially small loads.
+    pub min_load: u64,
+}
+
+impl Default for LbConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            period: SimTime::from_secs(30),
+            delta: 1.0,
+            probe_level: 1,
+            max_targets: 4,
+            min_load: 8,
+        }
+    }
+}
+
+impl LbConfig {
+    /// The paper's evaluated configuration: enabled, P_l = 1, δ = 1.0.
+    pub fn paper_default() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Whole-system configuration shared by every node.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Zone geometry (base β, zone bits). The paper's default is base 2
+    /// with 20 zone bits ("Base 2, level 20").
+    pub zone: ZoneParams,
+    /// Load balancing settings.
+    pub lb: LbConfig,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self {
+            zone: ZoneParams::base2_level20(),
+            lb: LbConfig::default(),
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Base 4 / level 10 variant (the paper's second configuration).
+    pub fn base4() -> Self {
+        Self {
+            zone: ZoneParams::base4_level10(),
+            ..Self::default()
+        }
+    }
+
+    /// Enables load balancing with the paper's parameters.
+    pub fn with_lb(mut self) -> Self {
+        self.lb = LbConfig::paper_default();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SystemConfig::default();
+        assert_eq!(c.zone.base(), 2);
+        assert_eq!(c.zone.max_level(), 20);
+        assert!(!c.lb.enabled);
+        assert_eq!(c.lb.delta, 1.0);
+        assert_eq!(c.lb.probe_level, 1);
+    }
+
+    #[test]
+    fn base4_variant() {
+        let c = SystemConfig::base4();
+        assert_eq!(c.zone.base(), 4);
+        assert_eq!(c.zone.max_level(), 10);
+    }
+
+    #[test]
+    fn with_lb_enables() {
+        assert!(SystemConfig::default().with_lb().lb.enabled);
+    }
+}

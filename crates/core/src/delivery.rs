@@ -1,0 +1,192 @@
+//! Event publication and delivery — Algorithms 4 and 5.
+//!
+//! **Publication (Algorithm 4)**: the publisher hashes the event point to
+//! its maximum-level *rendezvous zone* (one per subscheme), initializes
+//! the SubID list with the `(key(cz), NULL)` marker and sends the event
+//! message toward the zone key's successor.
+//!
+//! **Delivery (Algorithm 5)**: each node receiving an event message
+//! processes the SubID list in two phases. Targets this node is
+//! responsible for are consumed: the NULL marker triggers rendezvous
+//! matching against the leaf zone repository; an internal id resolves to a
+//! local subscription (deliver to the application), a zone repository
+//! (match and merge — this is how the event climbs the surrogate chain
+//! toward ancestor zones), or a hosted migrated repository. All remaining
+//! targets are grouped by their next DHT hop and forwarded in one message
+//! per neighbor — the embedded-tree aggregation that saves bandwidth.
+
+use crate::model::{Event, SchemeId, SubId, SubTarget};
+use crate::msg::{DeliveryMsg, HyperMsg};
+use crate::node::{HyperSubNode, IidTarget};
+use crate::world::HyperWorld;
+use hypersub_chord::routing::{next_hop, NextHop};
+use hypersub_simnet::Ctx;
+use std::collections::{BTreeMap, HashSet};
+
+impl HyperSubNode {
+    /// Algorithm 4: publish an event from this node. The event id must be
+    /// globally unique (it tags the event's bandwidth flow).
+    pub fn publish_event(
+        &mut self,
+        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        scheme_id: SchemeId,
+        event: Event,
+    ) {
+        let expected = ctx
+            .world
+            .oracle
+            .expected_matches(scheme_id, &event.point)
+            .len();
+        ctx.world
+            .metrics
+            .record_publish(event.id, ctx.now, ctx.me, expected);
+        let scheme = self.registry.scheme(scheme_id);
+        let n_subschemes = scheme.subschemes.len() as u8;
+        for ss in 0..n_subschemes {
+            let proj = self.registry.scheme(scheme_id).project_point(ss, &event.point);
+            let (_leaf, target) = self.rendezvous_target(scheme_id, ss, &proj);
+            let msg = DeliveryMsg {
+                scheme: scheme_id,
+                ss,
+                event: event.clone(),
+                hops: 0,
+                sender: None,
+                targets: vec![target],
+            };
+            self.handle_delivery(ctx, msg);
+        }
+    }
+
+    /// Algorithm 5: process an event message.
+    pub(crate) fn handle_delivery(
+        &mut self,
+        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        mut msg: DeliveryMsg,
+    ) {
+        // Piggybacked DHT maintenance: the forwarding node is evidently
+        // alive and a valid routing candidate.
+        if let Some(sender) = msg.sender.take() {
+            self.maint.observe_peer(sender);
+        }
+        let scheme = self.registry.scheme(msg.scheme);
+        let proj = scheme.project_point(msg.ss, &msg.event.point);
+
+        // Phase 1: consume targets we are responsible for; matching may
+        // produce new targets (the merged matched SubID list).
+        let mut queue: Vec<SubTarget> = std::mem::take(&mut msg.targets);
+        let mut seen: HashSet<SubTarget> = queue.iter().copied().collect();
+        // Grouping by next-hop neighbor; BTreeMap for deterministic send
+        // order.
+        let mut by_hop: BTreeMap<usize, Vec<SubTarget>> = BTreeMap::new();
+        while let Some(t) = queue.pop() {
+            if !self.maint.chord.responsible_for(t.nid) {
+                match next_hop(&self.maint.chord, t.nid) {
+                    NextHop::Forward(p) => by_hop.entry(p.idx).or_default().push(t),
+                    // Degenerate ring: treat as local after all.
+                    NextHop::Local => {
+                        self.consume_target(ctx, &msg, &proj, t, &mut queue, &mut seen)
+                    }
+                }
+            } else {
+                self.consume_target(ctx, &msg, &proj, t, &mut queue, &mut seen);
+            }
+        }
+
+        // Phase 2: forward one aggregated message per DHT link.
+        for (idx, targets) in by_hop {
+            ctx.send(
+                idx,
+                HyperMsg::Delivery(DeliveryMsg {
+                    scheme: msg.scheme,
+                    ss: msg.ss,
+                    event: msg.event.clone(),
+                    hops: msg.hops + 1,
+                    sender: Some(self.maint.chord.me()),
+                    targets,
+                }),
+            );
+        }
+    }
+
+    /// Consumes one SubID-list entry this node is responsible for.
+    fn consume_target(
+        &mut self,
+        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        msg: &DeliveryMsg,
+        proj: &hypersub_lph::Point,
+        t: SubTarget,
+        queue: &mut Vec<SubTarget>,
+        seen: &mut HashSet<SubTarget>,
+    ) {
+        let mut merge = |matched: Vec<SubId>, queue: &mut Vec<SubTarget>| {
+            for sid in matched {
+                let nt = SubTarget::sub(sid);
+                if seen.insert(nt) {
+                    queue.push(nt);
+                }
+            }
+        };
+        match t.iid {
+            None => {
+                // Rendezvous marker: match every local repository on the
+                // path from the event's leaf zone to the root. Locally
+                // hosted zones are not chained to each other (the chain
+                // collapse optimization in `install.rs`), so the walk is
+                // what finds them; chains to *remote* ancestor zones
+                // continue via the owner links in the matched entries.
+                let ssdef = &self.registry.scheme(msg.scheme).subschemes[msg.ss as usize];
+                let leaf = hypersub_lph::lph_point(&self.cfg.zone, &ssdef.space, proj);
+                let mut z = leaf;
+                loop {
+                    if let Some(repo) = self.repos.get_mut(&(msg.scheme, msg.ss, z)) {
+                        if self.dedup.insert((msg.event.id, repo.iid)) {
+                            merge(repo.match_point(&msg.event.point, proj), queue);
+                        }
+                    }
+                    match z.parent(&self.cfg.zone) {
+                        Some(p) => z = p,
+                        None => break,
+                    }
+                }
+            }
+            Some(iid) if t.nid != self.maint.chord.id => {
+                // We are the key's successor but not the node this target
+                // names: the named node (and the state its internal id
+                // referred to) is gone. Interpreting a foreign internal id
+                // against our own table would mis-deliver; drop instead —
+                // soft-state refresh re-establishes valid chains.
+                let _ = iid;
+            }
+            Some(iid) => match self.iids.get(&iid).copied() {
+                Some(IidTarget::Local) => {
+                    // Deliver to the local application/user (once).
+                    if self.dedup.insert((msg.event.id, iid)) {
+                        ctx.world.metrics.record_delivery(
+                            msg.event.id,
+                            SubId { nid: t.nid, iid },
+                            ctx.now,
+                            msg.hops,
+                        );
+                    }
+                }
+                Some(IidTarget::Repo(key)) => {
+                    if self.dedup.insert((msg.event.id, iid)) {
+                        if let Some(repo) = self.repos.get_mut(&key) {
+                            merge(repo.match_point(&msg.event.point, proj), queue);
+                        }
+                    }
+                }
+                Some(IidTarget::Hosted) => {
+                    if self.dedup.insert((msg.event.id, iid)) {
+                        if let Some(h) = self.hosted.get(&iid) {
+                            merge(h.match_point(&msg.event.point), queue);
+                        }
+                    }
+                }
+                // Stale target (e.g. responsibility shifted after churn):
+                // nothing to do.
+                None => {}
+            },
+        }
+    }
+}

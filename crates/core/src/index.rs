@@ -1,0 +1,138 @@
+//! Local event-matching index for surrogate repositories.
+//!
+//! §3.3: "There may be indexing structures maintained on the surrogate
+//! node to facilitate local event matching; however, this is not the
+//! focus of this paper." This module supplies one: a uniform grid over
+//! the first dimension of the stored (projected) rects. Each entry is
+//! registered in every cell its interval overlaps; a point query scans
+//! only the point's cell and then verifies candidates exactly, so the
+//! index can only prune, never change results.
+//!
+//! Repositories switch to the grid once they exceed
+//! [`GridIndex::THRESHOLD`] entries (hot zones under skewed workloads
+//! collect thousands); below that a linear scan is faster than any
+//! structure.
+
+use crate::model::SubId;
+use hypersub_lph::Rect;
+
+/// A one-dimensional uniform grid over entry intervals on dimension 0.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    lo: f64,
+    width: f64,
+    cells: Vec<Vec<SubId>>,
+}
+
+impl GridIndex {
+    /// Entry count at which a repository builds a grid.
+    pub const THRESHOLD: usize = 64;
+    /// Number of grid cells.
+    pub const CELLS: usize = 64;
+
+    /// Builds a grid from `(id, rect)` pairs. Returns `None` when the
+    /// entries span a degenerate range (all identical on dim 0) — the
+    /// grid would not prune anything.
+    pub fn build<'a, I>(entries: I) -> Option<GridIndex>
+    where
+        I: Iterator<Item = (&'a SubId, &'a Rect)> + Clone,
+    {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (_, r) in entries.clone() {
+            lo = lo.min(r.lo[0]);
+            hi = hi.max(r.hi[0]);
+        }
+        if !lo.is_finite() || !hi.is_finite() || hi <= lo {
+            return None;
+        }
+        let width = (hi - lo) / Self::CELLS as f64;
+        let mut cells: Vec<Vec<SubId>> = vec![Vec::new(); Self::CELLS];
+        for (&id, r) in entries {
+            let first = (((r.lo[0] - lo) / width) as usize).min(Self::CELLS - 1);
+            let last = (((r.hi[0] - lo) / width) as usize).min(Self::CELLS - 1);
+            for cell in cells.iter_mut().take(last + 1).skip(first) {
+                cell.push(id);
+            }
+        }
+        Some(GridIndex { lo, width, cells })
+    }
+
+    /// Candidate entries whose dim-0 interval may contain `x`. Exact
+    /// verification is the caller's job.
+    pub fn candidates(&self, x: f64) -> &[SubId] {
+        if x < self.lo {
+            return &self.cells[0];
+        }
+        let cell = (((x - self.lo) / self.width) as usize).min(Self::CELLS - 1);
+        &self.cells[cell]
+    }
+
+    /// Total candidate registrations (diagnostics: duplication factor).
+    pub fn registrations(&self) -> usize {
+        self.cells.iter().map(|c| c.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(n: u64) -> SubId {
+        SubId { nid: n, iid: 1 }
+    }
+
+    fn rect1(lo: f64, hi: f64) -> Rect {
+        Rect::new(vec![lo, 0.0], vec![hi, 100.0])
+    }
+
+    #[test]
+    fn candidates_superset_of_matches() {
+        let entries: Vec<(SubId, Rect)> = (0..200)
+            .map(|i| {
+                let lo = (i as f64 * 7.3) % 90.0;
+                (sid(i), rect1(lo, lo + 5.0))
+            })
+            .collect();
+        let grid = GridIndex::build(entries.iter().map(|(a, b)| (a, b))).expect("non-degenerate");
+        for x in [0.0, 13.37, 50.0, 89.9, 95.0] {
+            let cands = grid.candidates(x);
+            for (id, r) in &entries {
+                if r.lo[0] <= x && x <= r.hi[0] {
+                    assert!(
+                        cands.contains(id),
+                        "entry {id:?} matching x={x} missing from candidates"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_range_yields_no_grid() {
+        let entries = vec![(sid(1), rect1(5.0, 5.0)), (sid(2), rect1(5.0, 5.0))];
+        assert!(GridIndex::build(entries.iter().map(|(a, b)| (a, b))).is_none());
+    }
+
+    #[test]
+    fn grid_prunes_disjoint_clusters() {
+        // Two clusters far apart: querying one must not scan the other.
+        let mut entries = Vec::new();
+        for i in 0..100 {
+            entries.push((sid(i), rect1(0.0, 1.0)));
+            entries.push((sid(1000 + i), rect1(99.0, 100.0)));
+        }
+        let grid = GridIndex::build(entries.iter().map(|(a, b)| (a, b))).unwrap();
+        let cands = grid.candidates(0.5);
+        assert_eq!(cands.len(), 100, "only the near cluster is scanned");
+    }
+
+    #[test]
+    fn out_of_range_queries_clamp() {
+        let entries = vec![(sid(1), rect1(10.0, 20.0)), (sid(2), rect1(30.0, 40.0))];
+        let grid = GridIndex::build(entries.iter().map(|(a, b)| (a, b))).unwrap();
+        // Clamped queries return a (possibly empty) cell, never panic.
+        let _ = grid.candidates(-5.0);
+        let _ = grid.candidates(500.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! # HyperSub — content-based publish/subscribe over a DHT
+//!
+//! A full implementation of *"A Large-scale and Decentralized
+//! Infrastructure for Content-based Publish/Subscribe Services"* (Yang,
+//! Zhu, Hu — ICPP 2007): a scalable pub/sub platform built on Chord that
+//! simultaneously supports any number of pub/sub schemes with different
+//! numbers of attributes.
+//!
+//! The three key mechanisms, each mapped to a module:
+//!
+//! 1. **Locality-preserving hashing** (`hypersub-lph` crate + [`model`]):
+//!    the content space of each scheme is recursively partitioned into
+//!    content zones; subscriptions map to the smallest covering zone,
+//!    events to a maximum-level zone.
+//! 2. **Subscription installation & event delivery** ([`install`],
+//!    [`delivery`]): Algorithms 2–5 of the paper — surrogate nodes store
+//!    subscriptions per zone, maintain *summary filters* whose
+//!    subdivisions propagate down the zone tree as *surrogate
+//!    subscriptions*, and events climb that chain from their rendezvous
+//!    (leaf) zone while the matched SubID list is split along DHT links,
+//!    aggregating messages that share a next hop.
+//! 3. **Load balancing** ([`loadbal`]): zone-mapping rotation per
+//!    scheme/subscheme plus dynamic subscription migration from overloaded
+//!    nodes to lightly loaded ring neighbors.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hypersub_core::prelude::*;
+//!
+//! // A 2-attribute scheme over [0, 100]^2.
+//! let scheme = SchemeDef::builder("quotes")
+//!     .attribute("price", 0.0, 100.0)
+//!     .attribute("volume", 0.0, 100.0)
+//!     .build(0);
+//! let registry = Registry::new(vec![scheme]);
+//! let config = SystemConfig::default();
+//!
+//! // An 8-node network with uniform 10 ms links.
+//! let mut net = Network::build(NetworkParams {
+//!     nodes: 8,
+//!     registry,
+//!     config,
+//!     seed: 7,
+//!     ..NetworkParams::default()
+//! });
+//!
+//! // Node 3 subscribes to price in [10, 20] x any volume.
+//! let sub = Subscription::new(Rect::new(vec![10.0, 0.0], vec![20.0, 100.0]));
+//! net.subscribe(3, 0, sub);
+//! net.run_to_quiescence();
+//!
+//! // Node 5 publishes an event at (15, 42) — it must reach node 3.
+//! net.publish(5, 0, Point(vec![15.0, 42.0]));
+//! net.run_to_quiescence();
+//!
+//! let stats = net.event_stats();
+//! assert_eq!(stats[0].delivered, 1);
+//! ```
+
+pub mod config;
+pub mod delivery;
+pub mod index;
+pub mod install;
+pub mod loadbal;
+pub mod metrics;
+pub mod model;
+pub mod msg;
+pub mod node;
+pub mod repo;
+pub mod sim;
+pub mod strings;
+pub mod world;
+
+/// Convenient glob import for applications.
+pub mod prelude {
+    pub use crate::config::{LbConfig, SystemConfig};
+    pub use crate::metrics::{EventStats, Metrics};
+    pub use crate::model::{Event, Registry, SchemeDef, SchemeId, SubId, Subscription};
+    pub use crate::node::HyperSubNode;
+    pub use crate::sim::{Network, NetworkParams};
+    pub use hypersub_lph::{ContentSpace, Point, Rect, ZoneParams};
+    pub use hypersub_simnet::SimTime;
+}

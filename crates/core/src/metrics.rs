@@ -1,0 +1,205 @@
+//! Per-event and per-node metric collection (§5.1's cost metrics).
+//!
+//! The paper evaluates: (1) **hops** — the maximum path length required to
+//! deliver an event to all of its subscribers; (2) **latency** — the
+//! maximum time of delivering an event to all subscribers; (3)
+//! **bandwidth cost** — total bytes consumed delivering an event (read
+//! from [`hypersub_simnet::NetStats`] flows, since every delivery message
+//! is tagged with its event id); (4) **in/out node bandwidth** — per-node
+//! totals over the run (also from `NetStats`).
+
+use crate::model::SubId;
+use hypersub_simnet::{NetStats, SimTime};
+use std::collections::HashMap;
+
+/// One recorded publish.
+#[derive(Debug, Clone, Copy)]
+pub struct PublishRecord {
+    /// When the event was published.
+    pub time: SimTime,
+    /// Publishing node (simulator index).
+    pub node: usize,
+    /// Ground-truth number of matching subscriptions at publish time.
+    pub expected: usize,
+}
+
+/// One recorded delivery to a subscriber.
+#[derive(Debug, Clone, Copy)]
+pub struct DeliveryRecord {
+    /// The event delivered.
+    pub event: u64,
+    /// The matched subscription.
+    pub subid: SubId,
+    /// Delivery time.
+    pub time: SimTime,
+    /// Network hops the delivering message copy traversed.
+    pub hops: u32,
+}
+
+/// Mutable metric sink living in the simulation world.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    publishes: HashMap<u64, PublishRecord>,
+    deliveries: Vec<DeliveryRecord>,
+}
+
+impl Metrics {
+    /// Records an event publication.
+    pub fn record_publish(&mut self, event: u64, time: SimTime, node: usize, expected: usize) {
+        let prev = self.publishes.insert(
+            event,
+            PublishRecord {
+                time,
+                node,
+                expected,
+            },
+        );
+        assert!(prev.is_none(), "event {event} published twice");
+    }
+
+    /// Records a delivery to a local subscriber.
+    pub fn record_delivery(&mut self, event: u64, subid: SubId, time: SimTime, hops: u32) {
+        self.deliveries.push(DeliveryRecord {
+            event,
+            subid,
+            time,
+            hops,
+        });
+    }
+
+    /// Raw delivery records.
+    pub fn deliveries(&self) -> &[DeliveryRecord] {
+        &self.deliveries
+    }
+
+    /// Raw publish records.
+    pub fn publishes(&self) -> &HashMap<u64, PublishRecord> {
+        &self.publishes
+    }
+
+    /// Aggregates per-event statistics, sorted by event id. `total_subs`
+    /// is the number of subscriptions in the system (for the matched
+    /// fraction); `net` supplies the per-flow bandwidth.
+    pub fn event_stats(&self, total_subs: usize, net: &NetStats) -> Vec<EventStats> {
+        let mut by_event: HashMap<u64, Vec<&DeliveryRecord>> = HashMap::new();
+        for d in &self.deliveries {
+            by_event.entry(d.event).or_default().push(d);
+        }
+        let mut out: Vec<EventStats> = self
+            .publishes
+            .iter()
+            .map(|(&event, p)| {
+                let deliveries = by_event.get(&event).map(|v| v.as_slice()).unwrap_or(&[]);
+                // Distinct subscriber subids (defensive: duplicates would
+                // mean a protocol bug, surfaced by `duplicates`).
+                let mut subids: Vec<SubId> = deliveries.iter().map(|d| d.subid).collect();
+                subids.sort_unstable();
+                let before = subids.len();
+                subids.dedup();
+                let flow = net.flow(event);
+                EventStats {
+                    event,
+                    publish_time: p.time,
+                    publish_node: p.node,
+                    expected: p.expected,
+                    delivered: subids.len(),
+                    duplicates: before - subids.len(),
+                    max_hops: deliveries.iter().map(|d| d.hops).max().unwrap_or(0),
+                    max_latency: deliveries
+                        .iter()
+                        .map(|d| d.time.saturating_sub(p.time))
+                        .max()
+                        .unwrap_or(SimTime::ZERO),
+                    bandwidth_bytes: flow.bytes,
+                    messages: flow.msgs,
+                    matched_fraction: if total_subs == 0 {
+                        0.0
+                    } else {
+                        p.expected as f64 / total_subs as f64
+                    },
+                }
+            })
+            .collect();
+        out.sort_unstable_by_key(|s| s.event);
+        out
+    }
+}
+
+/// Aggregated statistics for one event — one row of the paper's Figure 2
+/// dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct EventStats {
+    /// Event id.
+    pub event: u64,
+    /// When it was published.
+    pub publish_time: SimTime,
+    /// Publisher node index.
+    pub publish_node: usize,
+    /// Ground-truth matching subscriptions.
+    pub expected: usize,
+    /// Distinct subscriptions actually delivered to.
+    pub delivered: usize,
+    /// Duplicate deliveries observed (should be 0).
+    pub duplicates: usize,
+    /// Max path length over all deliveries (paper metric 1).
+    pub max_hops: u32,
+    /// Max delivery latency (paper metric 2).
+    pub max_latency: SimTime,
+    /// Total bytes of delivery traffic for this event (paper metric 3).
+    pub bandwidth_bytes: u64,
+    /// Delivery messages sent for this event.
+    pub messages: u64,
+    /// `expected / total subscriptions` (Figure 2a's x-axis).
+    pub matched_fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(n: u64) -> SubId {
+        SubId { nid: n, iid: 1 }
+    }
+
+    #[test]
+    fn aggregates_per_event() {
+        let mut m = Metrics::default();
+        let net = NetStats::new(4);
+        m.record_publish(1, SimTime::from_millis(100), 0, 2);
+        m.record_delivery(1, sid(10), SimTime::from_millis(130), 3);
+        m.record_delivery(1, sid(11), SimTime::from_millis(150), 5);
+        m.record_publish(2, SimTime::from_millis(200), 1, 0);
+        let stats = m.event_stats(100, &net);
+        assert_eq!(stats.len(), 2);
+        let s1 = &stats[0];
+        assert_eq!(s1.delivered, 2);
+        assert_eq!(s1.expected, 2);
+        assert_eq!(s1.max_hops, 5);
+        assert_eq!(s1.max_latency, SimTime::from_millis(50));
+        assert_eq!(s1.duplicates, 0);
+        assert!((s1.matched_fraction - 0.02).abs() < 1e-12);
+        let s2 = &stats[1];
+        assert_eq!(s2.delivered, 0);
+        assert_eq!(s2.max_latency, SimTime::ZERO);
+    }
+
+    #[test]
+    fn duplicate_deliveries_are_counted_not_double_counted() {
+        let mut m = Metrics::default();
+        let net = NetStats::new(1);
+        m.record_publish(1, SimTime::ZERO, 0, 1);
+        m.record_delivery(1, sid(10), SimTime::from_millis(1), 1);
+        m.record_delivery(1, sid(10), SimTime::from_millis(2), 2);
+        let stats = m.event_stats(10, &net);
+        assert_eq!(stats[0].delivered, 1);
+        assert_eq!(stats[0].duplicates, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "published twice")]
+    fn double_publish_panics() {
+        let mut m = Metrics::default();
+        m.record_publish(1, SimTime::ZERO, 0, 0);
+        m.record_publish(1, SimTime::ZERO, 0, 0);
+    }
+}

@@ -1,0 +1,284 @@
+//! HyperSub wire messages and their size model.
+//!
+//! §5.1: "The size of each event message is modeled in bytes as: 20 bytes
+//! for packet header, 100 bytes for event, and 9 bytes for each SubID (8
+//! bytes for subscriber's nodeID, and 1 byte for internalID) carried in
+//! the message." Control messages use the same 20-byte header plus the
+//! natural serialized size of their fields (8-byte floats, 9-byte SubIds,
+//! 9-byte zone codes).
+
+use crate::model::{Event, SchemeId, SubId, SubTarget, SubschemeId};
+use crate::repo::RepoKey;
+use hypersub_chord::proto::ChordMsg;
+use hypersub_chord::Peer;
+use hypersub_lph::{Rect, ZoneCode};
+use hypersub_simnet::Payload;
+
+/// 20-byte packet header (paper's model).
+pub const HEADER_BYTES: usize = 20;
+/// 100-byte event body (paper's model).
+pub const EVENT_BYTES: usize = 100;
+/// 9-byte SubID: 8-byte nodeID + 1-byte internalID (paper's model).
+pub const SUBID_BYTES: usize = 9;
+/// Zone code on the wire: 8-byte code + 1-byte level.
+pub const ZONE_BYTES: usize = 9;
+
+fn rect_bytes(r: &Rect) -> usize {
+    2 * 8 * r.dims()
+}
+
+/// A payload routed greedily to the successor of `key` (subscription
+/// installation and surrogate registration both use this wrapper).
+#[derive(Debug, Clone)]
+pub enum Routed {
+    /// Algorithm 2: register a subscription at its zone's surrogate node.
+    Register {
+        /// Scheme the subscription belongs to.
+        scheme: SchemeId,
+        /// Subscheme it was installed into.
+        ss: SubschemeId,
+        /// The zone LPH mapped it to.
+        zone: ZoneCode,
+        /// Subscription id `(subscriber nodeID, internalID)`.
+        subid: SubId,
+        /// Full-space hypercuboid.
+        full: Rect,
+        /// Projection onto the subscheme space.
+        proj: Rect,
+    },
+    /// Removes a subscription from its zone repository (unsubscribe).
+    /// The zone's summary filter stays conservative (it may now
+    /// over-cover), which preserves delivery correctness; it is rebuilt
+    /// exactly on the next soft-state refresh.
+    Unregister {
+        /// Scheme.
+        scheme: SchemeId,
+        /// Subscheme the subscription was installed into.
+        ss: SubschemeId,
+        /// Zone it was registered at.
+        zone: ZoneCode,
+        /// The subscription to remove.
+        subid: SubId,
+    },
+    /// Algorithm 3: register/update a summary-filter subdivision at a
+    /// child zone as a surrogate subscription.
+    RegisterSurrogate {
+        /// Scheme.
+        scheme: SchemeId,
+        /// Subscheme.
+        ss: SubschemeId,
+        /// The child zone being registered into.
+        zone: ZoneCode,
+        /// Points back at the parent zone's repository.
+        owner: SubId,
+        /// The subdivision rect (projected space).
+        proj: Rect,
+    },
+}
+
+impl Routed {
+    fn body_size(&self) -> usize {
+        match self {
+            Routed::Register { full, proj, .. } => {
+                4 + 1 + ZONE_BYTES + SUBID_BYTES + rect_bytes(full) + rect_bytes(proj)
+            }
+            Routed::Unregister { .. } => 4 + 1 + ZONE_BYTES + SUBID_BYTES,
+            Routed::RegisterSurrogate { proj, .. } => {
+                4 + 1 + ZONE_BYTES + SUBID_BYTES + rect_bytes(proj)
+            }
+        }
+    }
+}
+
+/// An event message: the event plus its SubID list (Algorithm 4/5).
+#[derive(Debug, Clone)]
+pub struct DeliveryMsg {
+    /// Scheme of the event.
+    pub scheme: SchemeId,
+    /// Which subscheme's rendezvous chain this copy serves.
+    pub ss: SubschemeId,
+    /// The event itself.
+    pub event: Event,
+    /// Network hops this copy has traversed.
+    pub hops: u32,
+    /// The forwarding node — piggybacked DHT maintenance (§3.2: "the
+    /// maintenance of DHT links can be piggybacked onto the event
+    /// delivery message"): receivers treat the sender as a live routing
+    /// candidate, refreshing predecessor/successor knowledge for free.
+    /// Fits in the 20-byte packet header, so it adds no modeled bytes.
+    pub sender: Option<Peer>,
+    /// The SubID list.
+    pub targets: Vec<SubTarget>,
+}
+
+/// One batch of a migration: entries leaving a specific zone repository.
+#[derive(Debug, Clone)]
+pub struct MigBatch {
+    /// Repository the entries are migrating out of.
+    pub source: RepoKey,
+    /// `(subid, full rect)` pairs.
+    pub entries: Vec<(SubId, Rect)>,
+}
+
+/// Acknowledgement for one accepted batch.
+#[derive(Debug, Clone)]
+pub struct MigAck {
+    /// Repository the batch came from.
+    pub source: RepoKey,
+    /// Internal id the acceptor allocated for the hosted repo.
+    pub iid: u32,
+    /// Projected cover of the accepted entries — installed back at the
+    /// origin as a surrogate subscription.
+    pub proj_summary: Rect,
+}
+
+/// All HyperSub traffic.
+#[derive(Debug, Clone)]
+pub enum HyperMsg {
+    /// Greedy-routed control payload.
+    Route {
+        /// Destination key (already rotation-adjusted).
+        key: u64,
+        /// The payload.
+        inner: Routed,
+    },
+    /// Event delivery (Algorithm 5).
+    Delivery(DeliveryMsg),
+    /// Load-balancing probe (§4); `ttl > 1` probes neighbors' neighbors.
+    LoadProbe {
+        /// Node collecting the samples.
+        origin: Peer,
+        /// Remaining probe depth.
+        ttl: u8,
+    },
+    /// Probe answer.
+    LoadReply {
+        /// The responder's current load (stored subscriptions).
+        load: u64,
+    },
+    /// Subscription migration offer from an overloaded node.
+    Migrate {
+        /// The overloaded node.
+        origin: Peer,
+        /// Per-repository batches.
+        batches: Vec<MigBatch>,
+    },
+    /// Migration acceptance.
+    MigrateAck {
+        /// The accepting node (the origin installs surrogate subscriptions
+        /// pointing at this peer).
+        me: Peer,
+        /// One ack per accepted batch.
+        acks: Vec<MigAck>,
+    },
+    /// Embedded Chord maintenance traffic.
+    Chord(ChordMsg),
+}
+
+impl Payload for HyperMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            HyperMsg::Route { inner, .. } => HEADER_BYTES + 8 + inner.body_size(),
+            HyperMsg::Delivery(d) => HEADER_BYTES + EVENT_BYTES + SUBID_BYTES * d.targets.len(),
+            HyperMsg::LoadProbe { .. } => HEADER_BYTES + 13,
+            HyperMsg::LoadReply { .. } => HEADER_BYTES + 8,
+            HyperMsg::Migrate { batches, .. } => {
+                HEADER_BYTES
+                    + 12
+                    + batches
+                        .iter()
+                        .map(|b| {
+                            ZONE_BYTES
+                                + 5
+                                + b.entries
+                                    .iter()
+                                    .map(|(_, r)| SUBID_BYTES + rect_bytes(r))
+                                    .sum::<usize>()
+                        })
+                        .sum::<usize>()
+            }
+            HyperMsg::MigrateAck { acks, .. } => {
+                HEADER_BYTES
+                    + 12
+                    + acks
+                        .iter()
+                        .map(|a| ZONE_BYTES + 5 + 4 + rect_bytes(&a.proj_summary))
+                        .sum::<usize>()
+            }
+            HyperMsg::Chord(m) => m.wire_size(),
+        }
+    }
+
+    fn flow(&self) -> Option<u64> {
+        match self {
+            HyperMsg::Delivery(d) => Some(d.event.id),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersub_lph::Point;
+
+    #[test]
+    fn delivery_size_matches_paper_model() {
+        let msg = HyperMsg::Delivery(DeliveryMsg {
+            scheme: 0,
+            ss: 0,
+            event: Event {
+                id: 1,
+                point: Point(vec![1.0, 2.0]),
+            },
+            hops: 0,
+            sender: Some(Peer { id: 9, idx: 4 }),
+            targets: vec![
+                SubTarget::rendezvous(1),
+                SubTarget::sub(SubId { nid: 2, iid: 3 }),
+            ],
+        });
+        // 20 header + 100 event + 2 * 9 subids.
+        assert_eq!(msg.wire_size(), 138);
+        assert_eq!(msg.flow(), Some(1));
+    }
+
+    #[test]
+    fn control_messages_have_no_flow() {
+        let msg = HyperMsg::LoadReply { load: 10 };
+        assert_eq!(msg.flow(), None);
+        assert_eq!(msg.wire_size(), 28);
+    }
+
+    #[test]
+    fn register_size_scales_with_dims() {
+        let r4 = Rect::new(vec![0.0; 4], vec![1.0; 4]);
+        let msg = HyperMsg::Route {
+            key: 0,
+            inner: Routed::Register {
+                scheme: 0,
+                ss: 0,
+                zone: ZoneCode::ROOT,
+                subid: SubId { nid: 1, iid: 2 },
+                full: r4.clone(),
+                proj: r4,
+            },
+        };
+        // 20 + 8 + (4 + 1 + 9 + 9 + 64 + 64)
+        assert_eq!(msg.wire_size(), 179);
+    }
+
+    #[test]
+    fn migrate_size_counts_entries() {
+        let r = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let msg = HyperMsg::Migrate {
+            origin: Peer { id: 1, idx: 0 },
+            batches: vec![MigBatch {
+                source: (0, 0, ZoneCode::ROOT),
+                entries: vec![(SubId { nid: 1, iid: 1 }, r.clone()), (SubId { nid: 2, iid: 1 }, r)],
+            }],
+        };
+        // 20 + 12 + (9 + 5 + 2*(9+32))
+        assert_eq!(msg.wire_size(), 128);
+    }
+}

@@ -1,0 +1,326 @@
+//! The HyperSub node: Chord state plus pub/sub repositories.
+
+use crate::config::SystemConfig;
+use crate::model::{Registry, SchemeId, SubId, Subscription};
+use crate::msg::HyperMsg;
+use crate::repo::{HostedRepo, RepoKey, ZoneRepo};
+use crate::world::HyperWorld;
+use hypersub_chord::proto::MaintState;
+use hypersub_chord::ChordState;
+use hypersub_simnet::{Ctx, Node};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A capacity-bounded first-in-first-out set used to process each
+/// `(event, repository)` pair at most once per node.
+///
+/// In the paper's literal design an event climbs the zone tree strictly
+/// level by level, touching each zone once. Our chain-collapse
+/// optimization (see `install.rs`) lets a surrogate chain re-enter a node
+/// whose rendezvous walk already matched an ancestor repository; this
+/// cache restores the visit-once invariant. Entries age out FIFO — events
+/// finish delivery within seconds of simulated time, so a bounded window
+/// is safe.
+#[derive(Debug, Clone)]
+pub struct DedupCache {
+    set: HashSet<(u64, u32)>,
+    order: std::collections::VecDeque<(u64, u32)>,
+    capacity: usize,
+}
+
+impl DedupCache {
+    /// Creates a cache remembering up to `capacity` pairs.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self {
+            set: HashSet::new(),
+            order: std::collections::VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Inserts the pair; returns `true` if it was new.
+    pub fn insert(&mut self, pair: (u64, u32)) -> bool {
+        if !self.set.insert(pair) {
+            return false;
+        }
+        self.order.push_back(pair);
+        if self.order.len() > self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        true
+    }
+
+    /// Number of remembered pairs.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True when nothing is remembered.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+impl Default for DedupCache {
+    fn default() -> Self {
+        Self::new(1 << 17)
+    }
+}
+
+use std::collections::HashSet;
+
+/// What a node-local internal id refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IidTarget {
+    /// A subscription made by this node's application.
+    Local,
+    /// One of this node's zone repositories.
+    Repo(RepoKey),
+    /// A repository of subscriptions accepted via migration.
+    Hosted,
+}
+
+/// Timer token: load-balancing round (probe + evaluate).
+pub const TOKEN_LB: u64 = 1;
+/// Timer token: Chord stabilize (churn scenarios only).
+pub const TOKEN_STABILIZE: u64 = 2;
+/// Timer token: Chord fix-fingers (churn scenarios only).
+pub const TOKEN_FIX_FINGERS: u64 = 3;
+/// Timer tokens at or above this publish scripted event `token - BASE`.
+pub const TOKEN_PUBLISH_BASE: u64 = 1 << 32;
+
+/// A HyperSub node.
+#[derive(Debug, Clone)]
+pub struct HyperSubNode {
+    /// Chord routing + maintenance state.
+    pub maint: MaintState,
+    /// Shared scheme definitions.
+    pub registry: Arc<Registry>,
+    /// Shared system configuration.
+    pub cfg: Arc<SystemConfig>,
+    /// Zone repositories this node is surrogate for.
+    pub repos: HashMap<RepoKey, ZoneRepo>,
+    /// Reverse index: internal id → meaning.
+    pub iids: HashMap<u32, IidTarget>,
+    /// Subscriptions made by this node's application.
+    pub local_subs: HashMap<u32, (SchemeId, Subscription)>,
+    /// Migrated-in repositories, by their internal id.
+    pub hosted: HashMap<u32, HostedRepo>,
+    /// Load-balancer round state.
+    pub lb: crate::loadbal::LbState,
+    /// Whether Chord maintenance timers self-rearm (churn scenarios).
+    pub maintenance: bool,
+    /// Visit-once guard for `(event, repository)` pairs.
+    pub dedup: DedupCache,
+    /// Relative capacity of this node (§4: each node's threshold factor
+    /// "is based on the node's capacity"). 1.0 = baseline; a node with
+    /// capacity 2.0 tolerates twice the average load before migrating.
+    pub capacity: f64,
+    next_iid: u32,
+}
+
+impl HyperSubNode {
+    /// Creates a node from pre-built Chord state.
+    pub fn new(chord: ChordState, registry: Arc<Registry>, cfg: Arc<SystemConfig>) -> Self {
+        Self {
+            maint: MaintState::new(chord),
+            registry,
+            cfg,
+            repos: HashMap::new(),
+            iids: HashMap::new(),
+            local_subs: HashMap::new(),
+            hosted: HashMap::new(),
+            lb: crate::loadbal::LbState::default(),
+            maintenance: false,
+            dedup: DedupCache::default(),
+            capacity: 1.0,
+            next_iid: 1, // the paper's internal IDs are positive integers
+        }
+    }
+
+    /// Convenience accessor for the Chord routing state.
+    pub fn chord(&self) -> &ChordState {
+        &self.maint.chord
+    }
+
+    /// Allocates a fresh internal id bound to `target`.
+    pub fn alloc_iid(&mut self, target: IidTarget) -> u32 {
+        let iid = self.next_iid;
+        self.next_iid += 1;
+        self.iids.insert(iid, target);
+        iid
+    }
+
+    /// This node's load: the number of subscriptions it stores (its own
+    /// zone repositories' real entries plus migrated-in entries) — the
+    /// unit of §4 and Figure 4.
+    pub fn load(&self) -> u64 {
+        let repo_subs: usize = self.repos.values().map(|r| r.real_count()).sum();
+        let hosted_subs: usize = self.hosted.values().map(|h| h.entries.len()).sum();
+        (repo_subs + hosted_subs) as u64
+    }
+
+    /// Total stored entries including surrogate subscriptions (for memory
+    /// accounting and ablations).
+    pub fn stored_entries(&self) -> u64 {
+        let repo_entries: usize = self.repos.values().map(|r| r.entries.len()).sum();
+        let hosted: usize = self.hosted.values().map(|h| h.entries.len()).sum();
+        (repo_entries + hosted) as u64
+    }
+
+    /// The subscription ids of this node's local subscriptions.
+    pub fn local_sub_ids(&self) -> Vec<SubId> {
+        let mut v: Vec<SubId> = self
+            .local_subs
+            .keys()
+            .map(|&iid| SubId {
+                nid: self.maint.chord.id,
+                iid,
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl Node<HyperMsg, HyperWorld> for HyperSubNode {
+    /// Fail-stop recovery: evict the dead peer from routing state, then
+    /// re-route traffic that must not be lost (deliveries and
+    /// registrations take the next-best hop; probes and maintenance are
+    /// periodic and simply retry next round).
+    fn on_send_failed(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>, dst: usize, msg: HyperMsg) {
+        self.maint.note_dead(dst);
+        match msg {
+            HyperMsg::Delivery(d) => self.handle_delivery(ctx, d),
+            HyperMsg::Route { key, inner } => self.handle_route(ctx, key, inner),
+            HyperMsg::Migrate { batches, .. } => {
+                // Abort the offer: entries were not yet removed (removal
+                // happens on ack), so just clear the bookkeeping and let a
+                // later round retry with a live target.
+                for b in batches {
+                    if let Some(items) = self.lb.in_flight.remove(&(dst, b.source)) {
+                        for item in items {
+                            self.lb.pending.remove(&(b.source, item.subid));
+                        }
+                    }
+                }
+            }
+            // Periodic (probes, maintenance) or origin-dead (acks): drop.
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>, from: usize, msg: HyperMsg) {
+        match msg {
+            HyperMsg::Route { key, inner } => self.handle_route(ctx, key, inner),
+            HyperMsg::Delivery(d) => self.handle_delivery(ctx, d),
+            HyperMsg::LoadProbe { origin, ttl } => self.handle_load_probe(ctx, origin, ttl),
+            HyperMsg::LoadReply { load } => self.handle_load_reply(from, load),
+            HyperMsg::Migrate { origin, batches } => self.handle_migrate(ctx, origin, batches),
+            HyperMsg::MigrateAck { me, acks } => self.handle_migrate_ack(ctx, from, me, acks),
+            HyperMsg::Chord(m) => {
+                let out = self.maint.handle(from, m);
+                debug_assert!(out.app_lookup.is_none(), "core uses recursive routing");
+                for (dst, m) in out.sends {
+                    ctx.send(dst, HyperMsg::Chord(m));
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>, token: u64) {
+        if token >= TOKEN_PUBLISH_BASE {
+            let idx = (token - TOKEN_PUBLISH_BASE) as usize;
+            let (scheme, event) = ctx.world.take_scripted(idx);
+            self.publish_event(ctx, scheme, event);
+            return;
+        }
+        match token {
+            TOKEN_LB => self.lb_tick(ctx),
+            TOKEN_STABILIZE => {
+                if self.maintenance {
+                    ctx.set_timer(hypersub_chord::proto::STABILIZE_PERIOD, TOKEN_STABILIZE);
+                    for (dst, m) in self.maint.stabilize_tick() {
+                        ctx.send(dst, HyperMsg::Chord(m));
+                    }
+                }
+            }
+            TOKEN_FIX_FINGERS => {
+                if self.maintenance {
+                    ctx.set_timer(hypersub_chord::proto::FIX_FINGERS_PERIOD, TOKEN_FIX_FINGERS);
+                    for (dst, m) in self.maint.fix_fingers_tick() {
+                        ctx.send(dst, HyperMsg::Chord(m));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Returns `true` if `x` lies in the clockwise half-open interval `[a, b)`.
+pub(crate) fn in_closed_open(a: u64, x: u64, b: u64) -> bool {
+    if a == b {
+        return true; // full ring
+    }
+    x.wrapping_sub(a) < b.wrapping_sub(a)
+}
+
+/// A default value placeholder used by tests in sibling modules.
+#[cfg(test)]
+pub(crate) fn test_registry() -> Arc<Registry> {
+    use crate::model::SchemeDef;
+    Arc::new(Registry::new(vec![SchemeDef::builder("test")
+        .attribute("x", 0.0, 100.0)
+        .attribute("y", 0.0, 100.0)
+        .build(0)]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iid_allocation_is_dense_and_tracked() {
+        let chord = ChordState::new(42, 0, 4);
+        let mut n = HyperSubNode::new(chord, test_registry(), Arc::new(SystemConfig::default()));
+        let a = n.alloc_iid(IidTarget::Local);
+        let b = n.alloc_iid(IidTarget::Hosted);
+        assert_eq!(a, 1);
+        assert_eq!(b, 2);
+        assert_eq!(n.iids[&a], IidTarget::Local);
+        assert_eq!(n.iids[&b], IidTarget::Hosted);
+    }
+
+    #[test]
+    fn fresh_node_has_zero_load() {
+        let chord = ChordState::new(42, 0, 4);
+        let n = HyperSubNode::new(chord, test_registry(), Arc::new(SystemConfig::default()));
+        assert_eq!(n.load(), 0);
+        assert_eq!(n.stored_entries(), 0);
+    }
+
+    #[test]
+    fn closed_open_interval() {
+        assert!(in_closed_open(10, 10, 20));
+        assert!(in_closed_open(10, 19, 20));
+        assert!(!in_closed_open(10, 20, 20));
+        // Wrap.
+        assert!(in_closed_open(u64::MAX - 1, 0, 5));
+        assert!(in_closed_open(7, 7, 7), "degenerate = full ring");
+    }
+
+    #[test]
+    fn dedup_cache_fifo_eviction() {
+        let mut d = DedupCache::new(2);
+        assert!(d.insert((1, 1)));
+        assert!(!d.insert((1, 1)));
+        assert!(d.insert((1, 2)));
+        assert!(d.insert((1, 3))); // evicts (1, 1)
+        assert!(d.insert((1, 1)), "evicted pair is insertable again");
+        assert_eq!(d.len(), 2);
+    }
+}

@@ -1,0 +1,313 @@
+//! Per-zone subscription repositories on surrogate nodes (§3.3).
+//!
+//! "Each node might serve as surrogate nodes for more than one content
+//! zone. In this case, content zones are managed individually, with the
+//! node regarded as a few virtual nodes. Each content zone cz maintains a
+//! summary filter sf which is defined as the smallest hypercuboid that can
+//! exactly cover all subscriptions registered in cz."
+//!
+//! A repository stores two kinds of entries:
+//! * **Real** subscriptions, installed by Algorithm 2 — these carry the
+//!   full-space rect (for exact matching) and its subscheme projection
+//!   (for zone geometry);
+//! * **Surrogate** subscriptions, pushed down from the parent zone by
+//!   Algorithm 3 — these carry only a projected rect, and their [`SubId`]
+//!   points at the parent zone's repository, forming the chain events
+//!   climb during delivery.
+
+use crate::model::{SchemeId, SubId, SubschemeId};
+use hypersub_lph::{Point, Rect, ZoneCode};
+use std::collections::HashMap;
+
+/// Identifies one zone repository: `(scheme, subscheme, zone)`.
+pub type RepoKey = (SchemeId, SubschemeId, ZoneCode);
+
+/// One stored subscription.
+#[derive(Debug, Clone)]
+pub enum StoredSub {
+    /// A subscriber's real subscription.
+    Real {
+        /// Full-space hypercuboid (exact matching).
+        full: Rect,
+        /// Projection onto the subscheme space (zone geometry).
+        proj: Rect,
+    },
+    /// A summary-filter subdivision registered by the parent zone (or by a
+    /// migration target summarizing subscriptions it accepted).
+    Surrogate {
+        /// Projected covering rect.
+        proj: Rect,
+    },
+}
+
+impl StoredSub {
+    /// The projected rect (present for both kinds).
+    pub fn proj(&self) -> &Rect {
+        match self {
+            StoredSub::Real { proj, .. } => proj,
+            StoredSub::Surrogate { proj } => proj,
+        }
+    }
+
+    /// Is this a real subscription?
+    pub fn is_real(&self) -> bool {
+        matches!(self, StoredSub::Real { .. })
+    }
+}
+
+/// A zone repository on a surrogate node.
+#[derive(Debug, Clone)]
+pub struct ZoneRepo {
+    /// This repository's local internal id — surrogate subscriptions in
+    /// child zones point back here as `(node_id, iid)`.
+    pub iid: u32,
+    /// Stored entries keyed by subscription id.
+    pub entries: HashMap<SubId, StoredSub>,
+    /// Smallest projected hypercuboid covering all entries.
+    pub summary: Option<Rect>,
+    /// What we last registered at each child zone (the "changed
+    /// subdivision" dedup of Algorithm 3).
+    pub pushed: HashMap<ZoneCode, Rect>,
+    /// Local matching index (§3.3), built lazily once the repository is
+    /// large; invalidated by mutation.
+    index: Option<crate::index::GridIndex>,
+}
+
+impl ZoneRepo {
+    /// An empty repository with the given internal id.
+    pub fn new(iid: u32) -> Self {
+        Self {
+            iid,
+            entries: HashMap::new(),
+            summary: None,
+            pushed: HashMap::new(),
+            index: None,
+        }
+    }
+
+    /// Inserts or updates an entry; returns `true` when the summary filter
+    /// grew (meaning subdivisions may need re-pushing).
+    pub fn insert(&mut self, id: SubId, sub: StoredSub) -> bool {
+        let proj = sub.proj().clone();
+        self.entries.insert(id, sub);
+        self.index = None;
+        match &mut self.summary {
+            None => {
+                self.summary = Some(proj);
+                true
+            }
+            Some(s) => {
+                let grown = s.cover(&proj);
+                if &grown != s {
+                    *s = grown;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Removes an entry (migration); the summary is deliberately *not*
+    /// shrunk — the migration target's surrogate subscription covers the
+    /// removed entries, so the old summary stays valid.
+    pub fn remove(&mut self, id: &SubId) -> Option<StoredSub> {
+        self.index = None;
+        self.entries.remove(id)
+    }
+
+    fn check_entry(sub: &StoredSub, full: &Point, proj: &Point) -> bool {
+        match sub {
+            StoredSub::Real { full: f, .. } => f.contains_point(full),
+            StoredSub::Surrogate { proj: p } => p.contains_point(proj),
+        }
+    }
+
+    /// All entries matching an event: real entries match against the full
+    /// point, surrogates against the projection. Results are sorted by
+    /// SubId for deterministic message construction. Large repositories
+    /// consult the grid index (candidates are verified exactly, so the
+    /// index never changes results).
+    pub fn match_point(&mut self, full: &Point, proj: &Point) -> Vec<SubId> {
+        if self.entries.len() >= crate::index::GridIndex::THRESHOLD && self.index.is_none() {
+            self.index =
+                crate::index::GridIndex::build(self.entries.iter().map(|(id, s)| (id, s.proj())));
+        }
+        let mut out: Vec<SubId> = match &self.index {
+            Some(grid) => grid
+                .candidates(proj.0[0])
+                .iter()
+                .filter(|id| {
+                    self.entries
+                        .get(id)
+                        .is_some_and(|s| Self::check_entry(s, full, proj))
+                })
+                .copied()
+                .collect(),
+            None => self
+                .entries
+                .iter()
+                .filter(|(_, sub)| Self::check_entry(sub, full, proj))
+                .map(|(&id, _)| id)
+                .collect(),
+        };
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of *real* subscriptions stored — the node-load unit of §4
+    /// and Figure 4.
+    pub fn real_count(&self) -> usize {
+        self.entries.values().filter(|s| s.is_real()).count()
+    }
+}
+
+/// Subscriptions accepted from an overloaded node during migration (§4).
+/// The accepting node matches events against these when the origin's
+/// surrogate subscription fires.
+#[derive(Debug, Clone)]
+pub struct HostedRepo {
+    /// This hosted repo's local internal id.
+    pub iid: u32,
+    /// Simulator index of the node the subscriptions came from.
+    pub origin: usize,
+    /// The zone repository they were migrated out of.
+    pub source: RepoKey,
+    /// Migrated subscriptions: full-space rects keyed by SubId.
+    pub entries: HashMap<SubId, Rect>,
+    /// Forwarding covers for entries that migrated *onward* from here:
+    /// the SubId names the next acceptor's hosted repo, the rect is the
+    /// full-space cover of what moved (conservative — spurious forwards
+    /// are filtered by exact matching downstream).
+    pub forwards: HashMap<SubId, Rect>,
+}
+
+impl HostedRepo {
+    /// A fresh hosted repo.
+    pub fn new(iid: u32, origin: usize, source: RepoKey) -> Self {
+        Self {
+            iid,
+            origin,
+            source,
+            entries: HashMap::new(),
+            forwards: HashMap::new(),
+        }
+    }
+
+    /// Matching against the full event point: exact local entries plus
+    /// forwarding targets whose cover contains the point.
+    pub fn match_point(&self, full: &Point) -> Vec<SubId> {
+        let mut out: Vec<SubId> = self
+            .entries
+            .iter()
+            .filter(|(_, r)| r.contains_point(full))
+            .map(|(&id, _)| id)
+            .collect();
+        out.extend(
+            self.forwards
+                .iter()
+                .filter(|(_, r)| r.contains_point(full))
+                .map(|(&id, _)| id),
+        );
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(lo: f64, hi: f64) -> Rect {
+        Rect::new(vec![lo, lo], vec![hi, hi])
+    }
+
+    fn sid(n: u64) -> SubId {
+        SubId { nid: n, iid: 0 }
+    }
+
+    #[test]
+    fn summary_grows_with_inserts() {
+        let mut r = ZoneRepo::new(1);
+        let grew = r.insert(
+            sid(1),
+            StoredSub::Real {
+                full: rect(2.0, 3.0),
+                proj: rect(2.0, 3.0),
+            },
+        );
+        assert!(grew);
+        assert_eq!(r.summary, Some(rect(2.0, 3.0)));
+        // Contained insert: summary unchanged.
+        let grew = r.insert(
+            sid(2),
+            StoredSub::Real {
+                full: rect(2.2, 2.8),
+                proj: rect(2.2, 2.8),
+            },
+        );
+        assert!(!grew);
+        // Expanding insert.
+        let grew = r.insert(
+            sid(3),
+            StoredSub::Real {
+                full: rect(1.0, 2.5),
+                proj: rect(1.0, 2.5),
+            },
+        );
+        assert!(grew);
+        assert_eq!(r.summary, Some(rect(1.0, 3.0)));
+    }
+
+    #[test]
+    fn match_point_distinguishes_kinds() {
+        let mut r = ZoneRepo::new(1);
+        r.insert(
+            sid(1),
+            StoredSub::Real {
+                full: Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]),
+                proj: Rect::new(vec![0.0], vec![1.0]),
+            },
+        );
+        r.insert(
+            sid(2),
+            StoredSub::Surrogate {
+                proj: Rect::new(vec![0.5], vec![2.0]),
+            },
+        );
+        // Full point (0.7, 5.0): real entry fails on dim 1 (5.0 > 1.0),
+        // surrogate matches on projection 0.7.
+        let m = r.match_point(&Point(vec![0.7, 5.0]), &Point(vec![0.7]));
+        assert_eq!(m, vec![sid(2)]);
+        // Full point inside both.
+        let m = r.match_point(&Point(vec![0.7, 0.5]), &Point(vec![0.7]));
+        assert_eq!(m, vec![sid(1), sid(2)]);
+    }
+
+    #[test]
+    fn remove_keeps_summary() {
+        let mut r = ZoneRepo::new(1);
+        r.insert(
+            sid(1),
+            StoredSub::Real {
+                full: rect(0.0, 4.0),
+                proj: rect(0.0, 4.0),
+            },
+        );
+        r.remove(&sid(1));
+        assert_eq!(r.summary, Some(rect(0.0, 4.0)));
+        assert_eq!(r.real_count(), 0);
+    }
+
+    #[test]
+    fn hosted_repo_matches_full_rects() {
+        let mut h = HostedRepo::new(9, 3, (0, 0, hypersub_lph::ZoneCode::ROOT));
+        h.entries.insert(sid(1), rect(0.0, 1.0));
+        h.entries.insert(sid(2), rect(0.5, 2.0));
+        let m = h.match_point(&Point(vec![0.7, 0.7]));
+        assert_eq!(m, vec![sid(1), sid(2)]);
+        let m = h.match_point(&Point(vec![1.5, 1.5]));
+        assert_eq!(m, vec![sid(2)]);
+    }
+}

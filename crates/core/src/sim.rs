@@ -1,0 +1,453 @@
+//! High-level driver: build a HyperSub network, install subscriptions,
+//! publish events, collect metrics.
+
+use crate::config::SystemConfig;
+use crate::metrics::EventStats;
+use crate::model::{Event, Registry, SchemeId, SubId, Subscription};
+use crate::msg::HyperMsg;
+use crate::node::{HyperSubNode, TOKEN_FIX_FINGERS, TOKEN_LB, TOKEN_PUBLISH_BASE, TOKEN_STABILIZE};
+use crate::world::HyperWorld;
+use hypersub_chord::builder::{build_ring, RingConfig};
+use hypersub_lph::Point;
+use hypersub_simnet::{KingLikeTopology, NetStats, Sim, SimTime, Topology, UniformTopology};
+use std::sync::Arc;
+
+/// How to build the latency model.
+#[derive(Clone)]
+pub enum TopologyKind {
+    /// Constant one-way latency (unit tests, microbenches).
+    Uniform(SimTime),
+    /// Synthetic King-dataset-like Internet latencies with the given mean
+    /// RTT (the paper's 1740-node network averages ~180 ms).
+    KingLike(SimTime),
+    /// Caller-provided topology.
+    Custom(Arc<dyn Topology>),
+}
+
+impl std::fmt::Debug for TopologyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyKind::Uniform(t) => write!(f, "Uniform({t})"),
+            TopologyKind::KingLike(t) => write!(f, "KingLike(mean_rtt={t})"),
+            TopologyKind::Custom(_) => write!(f, "Custom"),
+        }
+    }
+}
+
+/// Parameters for [`Network::build`].
+#[derive(Debug, Clone)]
+pub struct NetworkParams {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Scheme definitions.
+    pub registry: Registry,
+    /// System configuration.
+    pub config: SystemConfig,
+    /// Topology model.
+    pub topology: TopologyKind,
+    /// Chord ring construction parameters.
+    pub ring: RingConfig,
+    /// Master seed (node ids, topology, simulator randomness).
+    pub seed: u64,
+}
+
+impl Default for NetworkParams {
+    fn default() -> Self {
+        Self {
+            nodes: 16,
+            registry: Registry::new(Vec::new()),
+            config: SystemConfig::default(),
+            topology: TopologyKind::Uniform(SimTime::from_millis(10)),
+            ring: RingConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// A running HyperSub network.
+pub struct Network {
+    sim: Sim<HyperSubNode, HyperMsg, HyperWorld>,
+    next_event_id: u64,
+    scheduled_events: u64,
+}
+
+impl Network {
+    /// Builds a stabilized network: topology, Chord ring (with PNS
+    /// fingers), one HyperSub node per slot. Load-balancing timers are
+    /// armed (staggered) when the config enables LB.
+    pub fn build(params: NetworkParams) -> Self {
+        let topo: Arc<dyn Topology> = match &params.topology {
+            TopologyKind::Uniform(t) => Arc::new(UniformTopology::new(params.nodes, *t)),
+            TopologyKind::KingLike(rtt) => Arc::new(KingLikeTopology::generate(
+                params.nodes,
+                *rtt,
+                params.seed ^ 0x7090,
+            )),
+            TopologyKind::Custom(t) => {
+                assert_eq!(t.len(), params.nodes, "custom topology size mismatch");
+                Arc::clone(t)
+            }
+        };
+        let states = build_ring(&params.ring, topo.as_ref(), params.seed);
+        let registry = Arc::new(params.registry);
+        let cfg = Arc::new(params.config);
+        let nodes: Vec<HyperSubNode> = states
+            .into_iter()
+            .map(|st| HyperSubNode::new(st, Arc::clone(&registry), Arc::clone(&cfg)))
+            .collect();
+        let mut sim = Sim::new(topo, nodes, HyperWorld::default(), params.seed ^ 0x51ed);
+        if cfg.lb.enabled {
+            // Stagger first ticks across the period so probe bursts do not
+            // synchronize.
+            let period_us = cfg.lb.period.as_micros().max(1);
+            for i in 0..params.nodes {
+                let offset = SimTime::from_micros((i as u64).wrapping_mul(7919) % period_us);
+                sim.schedule_timer(cfg.lb.period + offset, i, TOKEN_LB);
+            }
+        }
+        Self {
+            sim,
+            next_event_id: 1,
+            scheduled_events: 0,
+        }
+    }
+
+    /// Installs a subscription from `node` (Algorithm 2 starts here).
+    /// Run the network afterwards to let registration traffic settle.
+    pub fn subscribe(&mut self, node: usize, scheme: SchemeId, sub: Subscription) -> SubId {
+        self.sim
+            .with_node_ctx(node, |n, ctx| n.subscribe(ctx, scheme, sub))
+    }
+
+    /// Cancels a subscription previously returned by [`Network::subscribe`].
+    /// Returns `false` if it was not a live local subscription of `node`.
+    pub fn unsubscribe(&mut self, node: usize, subid: SubId) -> bool {
+        assert_eq!(
+            self.sim.node(node).chord().id,
+            subid.nid,
+            "subid does not belong to node {node}"
+        );
+        self.sim
+            .with_node_ctx(node, |n, ctx| n.unsubscribe(ctx, subid.iid))
+    }
+
+    /// Publishes an event from `node` right now. Returns the event id.
+    pub fn publish(&mut self, node: usize, scheme: SchemeId, point: Point) -> u64 {
+        let id = self.alloc_event_id();
+        self.sim.with_node_ctx(node, |n, ctx| {
+            n.publish_event(ctx, scheme, Event { id, point })
+        });
+        id
+    }
+
+    /// Schedules an event publication at absolute simulated time `at`.
+    pub fn schedule_publish(
+        &mut self,
+        at: SimTime,
+        node: usize,
+        scheme: SchemeId,
+        point: Point,
+    ) -> u64 {
+        let id = self.alloc_event_id();
+        let idx = self.sim.world().script.len();
+        self.sim
+            .world_mut()
+            .script
+            .push(Some((scheme, Event { id, point })));
+        self.sim
+            .schedule_timer(at, node, TOKEN_PUBLISH_BASE + idx as u64);
+        self.scheduled_events += 1;
+        id
+    }
+
+    fn alloc_event_id(&mut self) -> u64 {
+        let id = self.next_event_id;
+        self.next_event_id += 1;
+        id
+    }
+
+    /// Enables Chord maintenance (stabilize/fix-fingers) on every node —
+    /// needed for churn scenarios.
+    pub fn enable_maintenance(&mut self) {
+        for i in 0..self.sim.len() {
+            self.sim.node_mut(i).maintenance = true;
+            self.sim
+                .schedule_timer(self.time() + hypersub_chord::proto::STABILIZE_PERIOD, i, TOKEN_STABILIZE);
+            self.sim.schedule_timer(
+                self.time() + hypersub_chord::proto::FIX_FINGERS_PERIOD,
+                i,
+                TOKEN_FIX_FINGERS,
+            );
+        }
+    }
+
+    /// Fails a node (messages to it are dropped).
+    pub fn fail(&mut self, node: usize) {
+        self.sim.fail(node);
+    }
+
+    /// Soft-state refresh on every live node: re-registers all local
+    /// subscriptions and re-pushes summary-filter chains, so state lost
+    /// with failed surrogate nodes is rebuilt on the healed ring.
+    pub fn refresh_all_subscriptions(&mut self) {
+        for i in 0..self.sim.len() {
+            if self.sim.is_alive(i) {
+                self.sim
+                    .with_node_ctx(i, |n, ctx| n.refresh_subscriptions(ctx));
+            }
+        }
+        for i in 0..self.sim.len() {
+            if self.sim.is_alive(i) {
+                self.sim.with_node_ctx(i, |n, ctx| n.rebuild_chains(ctx));
+            }
+        }
+    }
+
+    /// Runs until the event queue drains (messages and scripted timers
+    /// all processed).
+    ///
+    /// # Panics
+    /// Panics when load balancing or Chord maintenance is enabled — their
+    /// periodic timers re-arm forever, so the queue never drains; drive
+    /// such networks with [`Network::run_until`] instead.
+    pub fn run_to_quiescence(&mut self) {
+        assert!(
+            !self.sim.node(0).cfg.lb.enabled && !self.sim.node(0).maintenance,
+            "run_to_quiescence would never return with periodic timers \
+             (LB/maintenance) armed; use run_until"
+        );
+        self.sim.run(u64::MAX / 2);
+    }
+
+    /// Runs until simulated time `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(t);
+    }
+
+    /// Current simulated time.
+    pub fn time(&self) -> SimTime {
+        self.sim.time()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.sim.len()
+    }
+
+    /// True for an empty network (never constructed in practice).
+    pub fn is_empty(&self) -> bool {
+        self.sim.is_empty()
+    }
+
+    /// Per-event statistics (Figure 2's dataset).
+    pub fn event_stats(&self) -> Vec<EventStats> {
+        let total = self.sim.world().oracle.len();
+        self.sim
+            .world()
+            .metrics
+            .event_stats(total, self.sim.net())
+    }
+
+    /// Per-node load (stored subscriptions) — Figure 4's dataset.
+    pub fn node_loads(&self) -> Vec<u64> {
+        self.sim.nodes().iter().map(|n| n.load()).collect()
+    }
+
+    /// Network counters (Figure 3's dataset).
+    pub fn net(&self) -> &NetStats {
+        self.sim.net()
+    }
+
+    /// Ground-truth match set for a hypothetical event (testing).
+    pub fn expected_matches(&self, scheme: SchemeId, point: &Point) -> Vec<SubId> {
+        self.sim.world().oracle.expected_matches(scheme, point)
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, i: usize) -> &HyperSubNode {
+        self.sim.node(i)
+    }
+
+    /// The underlying simulator (escape hatch for advanced scenarios).
+    pub fn sim_mut(&mut self) -> &mut Sim<HyperSubNode, HyperMsg, HyperWorld> {
+        &mut self.sim
+    }
+
+    /// The underlying simulator, immutably.
+    pub fn sim(&self) -> &Sim<HyperSubNode, HyperMsg, HyperWorld> {
+        &self.sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SchemeDef;
+    use hypersub_lph::Rect;
+
+    fn registry() -> Registry {
+        Registry::new(vec![SchemeDef::builder("t")
+            .attribute("x", 0.0, 100.0)
+            .attribute("y", 0.0, 100.0)
+            .build(0)])
+    }
+
+    fn small_net(nodes: usize, seed: u64) -> Network {
+        Network::build(NetworkParams {
+            nodes,
+            registry: registry(),
+            seed,
+            ..NetworkParams::default()
+        })
+    }
+
+    #[test]
+    fn subscribe_then_publish_delivers() {
+        let mut net = small_net(8, 1);
+        let sub = Subscription::new(Rect::new(vec![10.0, 10.0], vec![20.0, 20.0]));
+        let subid = net.subscribe(3, 0, sub);
+        net.run_to_quiescence();
+        let ev = net.publish(5, 0, Point(vec![15.0, 15.0]));
+        net.run_to_quiescence();
+        let stats = net.event_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].event, ev);
+        assert_eq!(stats[0].expected, 1);
+        assert_eq!(stats[0].delivered, 1, "subscriber must receive the event");
+        assert_eq!(stats[0].duplicates, 0);
+        let _ = subid;
+    }
+
+    #[test]
+    fn non_matching_event_delivers_nothing() {
+        let mut net = small_net(8, 2);
+        net.subscribe(
+            3,
+            0,
+            Subscription::new(Rect::new(vec![10.0, 10.0], vec![20.0, 20.0])),
+        );
+        net.run_to_quiescence();
+        net.publish(5, 0, Point(vec![90.0, 90.0]));
+        net.run_to_quiescence();
+        let stats = net.event_stats();
+        assert_eq!(stats[0].expected, 0);
+        assert_eq!(stats[0].delivered, 0);
+    }
+
+    #[test]
+    fn delivered_set_equals_bruteforce_many_subs() {
+        let mut net = small_net(16, 3);
+        // A spread of subscriptions, including boundary-straddling ones.
+        let rects = [
+            ([0.0, 0.0], [100.0, 100.0]), // matches everything
+            ([40.0, 40.0], [60.0, 60.0]),
+            ([50.0, 0.0], [50.0, 100.0]), // degenerate plane at x=50
+            ([0.0, 45.0], [100.0, 55.0]),
+            ([70.0, 70.0], [80.0, 80.0]),
+            ([49.0, 49.0], [51.0, 51.0]),
+        ];
+        for (i, (lo, hi)) in rects.iter().enumerate() {
+            net.subscribe(
+                i % 16,
+                0,
+                Subscription::new(Rect::new(lo.to_vec(), hi.to_vec())),
+            );
+        }
+        net.run_to_quiescence();
+        for (j, point) in [
+            Point(vec![50.0, 50.0]), // the hot corner: matches many
+            Point(vec![75.0, 75.0]),
+            Point(vec![1.0, 1.0]),
+            Point(vec![50.0, 10.0]),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let expected = net.expected_matches(0, &point);
+            let ev = net.publish((j * 3) % 16, 0, point);
+            net.run_to_quiescence();
+            let stats = net.event_stats();
+            let s = stats.iter().find(|s| s.event == ev).unwrap();
+            assert_eq!(
+                s.delivered,
+                expected.len(),
+                "event {ev}: delivered {} != expected {}",
+                s.delivered,
+                expected.len()
+            );
+            assert_eq!(s.duplicates, 0, "event {ev} had duplicate deliveries");
+        }
+    }
+
+    #[test]
+    fn scheduled_publish_fires() {
+        let mut net = small_net(8, 4);
+        net.subscribe(
+            1,
+            0,
+            Subscription::new(Rect::new(vec![0.0, 0.0], vec![100.0, 100.0])),
+        );
+        net.run_to_quiescence();
+        net.schedule_publish(SimTime::from_secs(5), 2, 0, Point(vec![5.0, 5.0]));
+        net.run_to_quiescence();
+        let stats = net.event_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].delivered, 1);
+        assert!(stats[0].publish_time >= SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let mut net = small_net(12, 21);
+        let keep = net.subscribe(
+            2,
+            0,
+            Subscription::new(Rect::new(vec![0.0, 0.0], vec![100.0, 100.0])),
+        );
+        let cancel = net.subscribe(
+            5,
+            0,
+            Subscription::new(Rect::new(vec![0.0, 0.0], vec![100.0, 100.0])),
+        );
+        net.run_to_quiescence();
+        let e1 = net.publish(7, 0, Point(vec![50.0, 50.0]));
+        net.run_to_quiescence();
+        assert!(net.unsubscribe(5, cancel));
+        assert!(!net.unsubscribe(5, cancel), "double unsubscribe is a no-op");
+        net.run_to_quiescence();
+        let e2 = net.publish(7, 0, Point(vec![51.0, 51.0]));
+        net.run_to_quiescence();
+        let stats = net.event_stats();
+        let s1 = stats.iter().find(|s| s.event == e1).unwrap();
+        let s2 = stats.iter().find(|s| s.event == e2).unwrap();
+        assert_eq!(s1.delivered, 2, "before unsubscribe both fire");
+        assert_eq!(s2.delivered, 1, "after unsubscribe only one fires");
+        assert_eq!(s2.expected, 1);
+        let _ = keep;
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut net = small_net(12, seed);
+            for i in 0..12 {
+                let lo = i as f64 * 5.0;
+                net.subscribe(
+                    i,
+                    0,
+                    Subscription::new(Rect::new(vec![lo, 0.0], vec![lo + 10.0, 100.0])),
+                );
+            }
+            net.run_to_quiescence();
+            for i in 0..6 {
+                net.publish(i, 0, Point(vec![i as f64 * 17.0 % 100.0, 50.0]));
+            }
+            net.run_to_quiescence();
+            net.event_stats()
+                .iter()
+                .map(|s| (s.event, s.delivered, s.max_hops, s.bandwidth_bytes))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

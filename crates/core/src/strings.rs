@@ -1,0 +1,183 @@
+//! String attributes as numeric ranges (§3.1).
+//!
+//! "Note that the prefix and suffix predicates on string type attributes
+//! can be converted to numerical ranges." This module is that conversion:
+//! an order-preserving encoding of byte strings into `f64`, plus helpers
+//! that turn equality/prefix/range/suffix predicates into the closed
+//! numeric intervals HyperSub subscriptions are made of.
+//!
+//! ## Encoding
+//!
+//! The first [`SIGNIFICANT_BYTES`] (= 6) bytes are packed big-endian into
+//! the 52-bit mantissa of an `f64` (6 bytes = 48 bits, exactly
+//! representable), so byte-wise lexicographic order of the significant
+//! prefix maps to numeric order. Strings that share their first 6 bytes
+//! alias to the same point — matching is then coarser than exact string
+//! comparison, which trades a bounded false-positive rate for fixed-width
+//! keys (the application filters the residue; the paper's model makes the
+//! same move implicitly by treating all attributes as numeric).
+//!
+//! Suffix predicates are handled the standard way: a *reversed* companion
+//! attribute encodes `s.reverse()`, on which a suffix becomes a prefix.
+
+/// Bytes of a string that participate in the encoding.
+pub const SIGNIFICANT_BYTES: usize = 6;
+
+/// Upper bound (inclusive) of the string domain: `256^6 - 1`.
+pub const DOMAIN_MAX: f64 = ((1u64 << (8 * SIGNIFICANT_BYTES as u32)) - 1) as f64;
+
+/// Encodes a string order-preservingly into `[0, DOMAIN_MAX]`.
+pub fn encode(s: &str) -> f64 {
+    encode_bytes(s.as_bytes())
+}
+
+/// Encodes the reversed string — the companion attribute for suffix
+/// predicates.
+pub fn encode_reversed(s: &str) -> f64 {
+    let rev: Vec<u8> = s.as_bytes().iter().rev().copied().collect();
+    encode_bytes(&rev)
+}
+
+fn encode_bytes(b: &[u8]) -> f64 {
+    let mut v: u64 = 0;
+    for i in 0..SIGNIFICANT_BYTES {
+        v = (v << 8) | *b.get(i).unwrap_or(&0) as u64;
+    }
+    v as f64
+}
+
+/// The closed numeric interval matching exactly the strings whose
+/// significant prefix equals `s`'s.
+pub fn exact(s: &str) -> (f64, f64) {
+    let e = encode(s);
+    (e, e)
+}
+
+/// The closed numeric interval of all strings starting with `prefix`.
+pub fn prefix(prefix: &str) -> (f64, f64) {
+    let lo = encode(prefix);
+    let free = SIGNIFICANT_BYTES.saturating_sub(prefix.len());
+    let span = if free == 0 {
+        0.0
+    } else {
+        ((1u64 << (8 * free as u32)) - 1) as f64
+    };
+    (lo, lo + span)
+}
+
+/// The closed interval of all strings ending with `suffix`, expressed in
+/// the *reversed* attribute's domain (use with an `encode_reversed`
+/// event attribute).
+pub fn suffix(suffix: &str) -> (f64, f64) {
+    let rev: String = suffix.chars().rev().collect();
+    prefix(&rev)
+}
+
+/// Lexicographic closed range `[a, b]`.
+pub fn range(a: &str, b: &str) -> (f64, f64) {
+    let (lo, hi) = (encode(a), encode(b));
+    assert!(lo <= hi, "string range bounds out of order: {a:?} > {b:?}");
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encoding_is_order_preserving() {
+        let words = ["", "a", "aa", "ab", "b", "ba", "zebra", "zz"];
+        for w in words.windows(2) {
+            assert!(
+                encode(w[0]) < encode(w[1]),
+                "{:?} !< {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn domain_bounds() {
+        assert_eq!(encode(""), 0.0);
+        assert_eq!(encode("\u{7f}\u{7f}"), encode("\u{7f}\u{7f}\0"));
+        assert!(encode("zzzzzz") <= DOMAIN_MAX);
+        let all_ff = String::from_utf8(vec![0x7f; 12]).unwrap();
+        assert!(encode(&all_ff) <= DOMAIN_MAX);
+    }
+
+    #[test]
+    fn prefix_interval_contains_extensions() {
+        let (lo, hi) = prefix("abc");
+        for s in ["abc", "abcd", "abczzz", "abc\0"] {
+            let e = encode(s);
+            assert!(e >= lo && e <= hi, "{s:?} not in prefix interval");
+        }
+        for s in ["abd", "ab", "xabc", "ABC"] {
+            let e = encode(s);
+            assert!(!(e >= lo && e <= hi), "{s:?} wrongly in prefix interval");
+        }
+    }
+
+    #[test]
+    fn long_prefix_degenerates_to_exact() {
+        let (lo, hi) = prefix("abcdefgh");
+        assert_eq!(lo, hi);
+        assert_eq!(lo, encode("abcdefgh"));
+    }
+
+    #[test]
+    fn suffix_matches_in_reversed_space() {
+        let (lo, hi) = suffix(".com");
+        for s in ["example.com", "a.com", ".com"] {
+            let e = encode_reversed(s);
+            assert!(e >= lo && e <= hi, "{s:?} not matched by suffix");
+        }
+        for s in ["example.org", "comx", "com."] {
+            let e = encode_reversed(s);
+            assert!(!(e >= lo && e <= hi), "{s:?} wrongly matched");
+        }
+    }
+
+    #[test]
+    fn lexicographic_range() {
+        let (lo, hi) = range("apple", "banana");
+        assert!(encode("avocado") >= lo && encode("avocado") <= hi);
+        assert!(encode("cherry") > hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn inverted_range_panics() {
+        range("b", "a");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_order_preserved(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+            // Lexicographic order on the significant prefix must map to
+            // numeric order.
+            let ta: &str = &a[..a.len().min(SIGNIFICANT_BYTES)];
+            let tb: &str = &b[..b.len().min(SIGNIFICANT_BYTES)];
+            // Compare padded significant prefixes byte-wise.
+            let mut pa = [0u8; SIGNIFICANT_BYTES];
+            let mut pb = [0u8; SIGNIFICANT_BYTES];
+            pa[..ta.len()].copy_from_slice(ta.as_bytes());
+            pb[..tb.len()].copy_from_slice(tb.as_bytes());
+            match pa.cmp(&pb) {
+                std::cmp::Ordering::Less => prop_assert!(encode(&a) < encode(&b)),
+                std::cmp::Ordering::Greater => prop_assert!(encode(&a) > encode(&b)),
+                std::cmp::Ordering::Equal => prop_assert_eq!(encode(&a), encode(&b)),
+            }
+        }
+
+        #[test]
+        fn prop_prefix_range_sound(p in "[a-z]{1,5}", ext in "[a-z]{0,8}") {
+            let s = format!("{p}{ext}");
+            let (lo, hi) = prefix(&p);
+            let e = encode(&s);
+            prop_assert!(e >= lo && e <= hi, "{} not in prefix({}) range", s, p);
+        }
+    }
+}

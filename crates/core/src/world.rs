@@ -1,0 +1,123 @@
+//! The shared simulation world: metric sinks, the ground-truth oracle and
+//! the publish script.
+
+use crate::metrics::Metrics;
+use crate::model::{Event, SchemeId, SubId, Subscription};
+use hypersub_lph::Point;
+
+/// Ground truth: every subscription in the system, for computing expected
+/// match sets (tests) and the matched-percentage metric (Figure 2a/5a).
+#[derive(Debug, Default)]
+pub struct Oracle {
+    subs: Vec<(SchemeId, SubId, Subscription)>,
+}
+
+impl Oracle {
+    /// Registers a subscription.
+    pub fn add(&mut self, scheme: SchemeId, subid: SubId, sub: Subscription) {
+        self.subs.push((scheme, subid, sub));
+    }
+
+    /// Removes a subscription (unsubscribe). Returns whether it existed.
+    pub fn remove(&mut self, subid: SubId) -> bool {
+        let before = self.subs.len();
+        self.subs.retain(|(_, id, _)| *id != subid);
+        self.subs.len() != before
+    }
+
+    /// Total subscriptions across all schemes.
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// True when no subscriptions exist.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// The exact set of subscriptions matching `point` in `scheme`.
+    pub fn expected_matches(&self, scheme: SchemeId, point: &Point) -> Vec<SubId> {
+        let ev = Event {
+            id: 0,
+            point: point.clone(),
+        };
+        let mut out: Vec<SubId> = self
+            .subs
+            .iter()
+            .filter(|(s, _, sub)| *s == scheme && sub.matches(&ev))
+            .map(|(_, id, _)| *id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// The shared world threaded through the simulator.
+#[derive(Debug, Default)]
+pub struct HyperWorld {
+    /// Metric sink.
+    pub metrics: Metrics,
+    /// Ground-truth subscription registry.
+    pub oracle: Oracle,
+    /// Scripted events, consumed by publish timers (indexed by the timer
+    /// token's low bits).
+    pub script: Vec<Option<(SchemeId, Event)>>,
+}
+
+impl HyperWorld {
+    /// Takes scripted event `idx` (panics if fired twice — each scripted
+    /// publish must run exactly once).
+    pub fn take_scripted(&mut self, idx: usize) -> (SchemeId, Event) {
+        self.script[idx]
+            .take()
+            .expect("scripted event fired twice or never scheduled")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersub_lph::{ContentSpace, Rect};
+
+    #[test]
+    fn oracle_matches_brute_force() {
+        let space = ContentSpace::uniform(2, 0.0, 10.0);
+        let mut o = Oracle::default();
+        let sub_a = Subscription::new(Rect::new(vec![0.0, 0.0], vec![5.0, 5.0]));
+        let sub_b = Subscription::new(Rect::new(vec![4.0, 4.0], vec![9.0, 9.0]));
+        let _ = space;
+        o.add(0, SubId { nid: 1, iid: 1 }, sub_a);
+        o.add(0, SubId { nid: 2, iid: 1 }, sub_b.clone());
+        o.add(1, SubId { nid: 3, iid: 1 }, sub_b);
+        let m = o.expected_matches(0, &Point(vec![4.5, 4.5]));
+        assert_eq!(m.len(), 2);
+        let m = o.expected_matches(0, &Point(vec![8.0, 8.0]));
+        assert_eq!(m, vec![SubId { nid: 2, iid: 1 }]);
+        // Scheme 1 is separate.
+        let m = o.expected_matches(1, &Point(vec![8.0, 8.0]));
+        assert_eq!(m, vec![SubId { nid: 3, iid: 1 }]);
+    }
+
+    #[test]
+    fn script_take_once() {
+        let mut w = HyperWorld::default();
+        w.script.push(Some((
+            0,
+            Event {
+                id: 7,
+                point: Point(vec![1.0]),
+            },
+        )));
+        let (s, e) = w.take_scripted(0);
+        assert_eq!(s, 0);
+        assert_eq!(e.id, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "fired twice")]
+    fn script_double_take_panics() {
+        let mut w = HyperWorld::default();
+        w.script.push(None);
+        w.take_scripted(0);
+    }
+}

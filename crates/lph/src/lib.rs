@@ -1,0 +1,31 @@
+//! Locality-preserving hashing (LPH) — the key component of HyperSub.
+//!
+//! §3.2 of the paper: a d-dimensional content space Ω is recursively
+//! subdivided, k-d-tree style, into *content zones*. The i-th division
+//! splits dimension `i mod d` into β equal parts (β = 2^b is the base of
+//! the key digits); a zone at level `l` is identified by an `l`-digit
+//! β-based code, and is assigned the 64-bit Chord key obtained by padding
+//! the code with (β−1)-digits on the right:
+//!
+//! ```text
+//! key(cz) = (code(cz) + 1) · β^(m − level(cz)) − 1
+//! ```
+//!
+//! A *subscription* (a hypercuboid of interest) maps to the smallest zone
+//! that completely covers it; an *event* (a point) maps to a maximum-level
+//! zone. Nearby data therefore lands on the same or neighboring keys,
+//! which is what makes installation and publication cheap.
+//!
+//! The paper's simulations use 64-bit identifiers with the first 20 bits
+//! for zone codes: base 2 → max level 20, base 4 → max level 10 (the
+//! "Base 2, level 20" / "Base 4, level 10" configurations of Figure 2).
+
+pub mod hash;
+pub mod rotation;
+pub mod space;
+pub mod zone;
+
+pub use hash::{lph_point, lph_rect};
+pub use rotation::rotation_offset;
+pub use space::{ContentSpace, Point, Rect};
+pub use zone::{ZoneCode, ZoneParams};

@@ -1,0 +1,500 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`Sim`] owns the node states, the world (shared blackboard for
+//! scenario scripts and metric sinks), the topology, the future-event list
+//! and the network counters. Protocols implement [`Node`]; all their
+//! interaction with the outside goes through [`Ctx`], which records sends
+//! and timers that the engine then schedules with topology latency and
+//! charges to [`crate::NetStats`].
+//!
+//! Determinism: all randomness flows from one seeded `SmallRng`, and the
+//! event queue breaks ties by insertion order, so a run is a pure function
+//! of `(nodes, world, topology, seed, scenario)`.
+
+use crate::queue::{EventQueue, SimEvent};
+use crate::stats::NetStats;
+use crate::time::SimTime;
+use crate::topology::Topology;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// A protocol message that knows its wire size and (optionally) which
+/// application-level flow it belongs to.
+pub trait Payload: Clone + std::fmt::Debug {
+    /// Full on-the-wire size in bytes, including headers. The paper models
+    /// event messages as 20 B packet header + 100 B event + 9 B per SubID.
+    fn wire_size(&self) -> usize;
+
+    /// Flow id for per-flow bandwidth accounting (e.g. the event id of a
+    /// delivery message). `None` means unattributed control traffic.
+    fn flow(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl Payload for () {
+    fn wire_size(&self) -> usize {
+        0
+    }
+}
+
+/// Per-node protocol logic.
+pub trait Node<M: Payload, W>: Sized {
+    /// Called when a message from node `from` arrives.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M, W>, from: usize, msg: M);
+
+    /// Called when a timer scheduled with [`Ctx::set_timer`] (or externally
+    /// via [`Sim::schedule_timer`]) fires.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, M, W>, _token: u64) {}
+
+    /// Called when a message this node sent could not be delivered because
+    /// the destination is down (fail-stop model: the notification arrives
+    /// one propagation delay after the send, like a refused connection).
+    /// Default: ignore.
+    fn on_send_failed(&mut self, _ctx: &mut Ctx<'_, M, W>, _dst: usize, _msg: M) {}
+}
+
+/// The API surface a node sees while handling an event.
+pub struct Ctx<'a, M, W> {
+    /// Index of the node currently executing.
+    pub me: usize,
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Mutable access to the shared world (metrics sinks, scenario state).
+    pub world: &'a mut W,
+    /// Deterministic randomness.
+    pub rng: &'a mut SmallRng,
+    outbox: &'a mut Vec<(usize, M)>,
+    timers: &'a mut Vec<(SimTime, u64)>,
+}
+
+impl<M, W> Ctx<'_, M, W> {
+    /// Sends `msg` to node `dst`; it arrives after the topology latency.
+    /// Sending to self is allowed and arrives at the current time (after
+    /// already-queued same-time events).
+    pub fn send(&mut self, dst: usize, msg: M) {
+        self.outbox.push((dst, msg));
+    }
+
+    /// Arms a timer to fire on this node after `delay`.
+    pub fn set_timer(&mut self, delay: SimTime, token: u64) {
+        self.timers.push((delay, token));
+    }
+}
+
+/// The simulator.
+pub struct Sim<N, M: Payload, W> {
+    nodes: Vec<N>,
+    alive: Vec<bool>,
+    world: W,
+    topo: Arc<dyn Topology>,
+    queue: EventQueue<M>,
+    time: SimTime,
+    net: NetStats,
+    rng: SmallRng,
+    outbox: Vec<(usize, M)>,
+    timers: Vec<(SimTime, u64)>,
+    steps: u64,
+}
+
+impl<N, M: Payload, W> Sim<N, M, W> {
+    /// Creates a simulator over `nodes` (one per topology slot).
+    ///
+    /// # Panics
+    /// Panics if `nodes.len() != topo.len()`.
+    pub fn new(topo: Arc<dyn Topology>, nodes: Vec<N>, world: W, seed: u64) -> Self {
+        assert_eq!(
+            nodes.len(),
+            topo.len(),
+            "node count must match topology size"
+        );
+        let n = nodes.len();
+        Self {
+            nodes,
+            alive: vec![true; n],
+            world,
+            topo,
+            queue: EventQueue::new(),
+            time: SimTime::ZERO,
+            net: NetStats::new(n),
+            rng: SmallRng::seed_from_u64(seed),
+            outbox: Vec::new(),
+            timers: Vec::new(),
+            steps: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the simulator has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, i: usize) -> &N {
+        &self.nodes[i]
+    }
+
+    /// Mutable node access (for setup; protocol work should go through
+    /// [`Sim::with_node_ctx`] so sends get scheduled).
+    pub fn node_mut(&mut self, i: usize) -> &mut N {
+        &mut self.nodes[i]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// The shared world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable world access.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Network counters.
+    pub fn net(&self) -> &NetStats {
+        &self.net
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Arc<dyn Topology> {
+        &self.topo
+    }
+
+    /// Events processed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Pending event count.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Marks a node as failed: its timers stop firing and messages to it
+    /// are dropped (and counted in [`NetStats::dropped`]).
+    pub fn fail(&mut self, node: usize) {
+        self.alive[node] = false;
+    }
+
+    /// Brings a failed node back (state unchanged — protocols must re-join
+    /// explicitly if they need fresh state).
+    pub fn revive(&mut self, node: usize) {
+        self.alive[node] = true;
+    }
+
+    /// Whether a node is up.
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.alive[node]
+    }
+
+    /// Schedules a timer on `node` at absolute time `at` (scenario drivers
+    /// use this to script subscribes/publishes).
+    pub fn schedule_timer(&mut self, at: SimTime, node: usize, token: u64) {
+        assert!(at >= self.time, "cannot schedule in the past");
+        self.queue.schedule(at, SimEvent::Timer { node, token });
+    }
+
+    /// Runs `f` against node `i` with a full [`Ctx`] at the current time,
+    /// then flushes any sends/timers it produced. This is how external
+    /// drivers invoke protocol entry points (subscribe, publish)
+    /// synchronously.
+    pub fn with_node_ctx<R>(&mut self, i: usize, f: impl FnOnce(&mut N, &mut Ctx<'_, M, W>) -> R) -> R {
+        let mut ctx = Ctx {
+            me: i,
+            now: self.time,
+            world: &mut self.world,
+            rng: &mut self.rng,
+            outbox: &mut self.outbox,
+            timers: &mut self.timers,
+        };
+        let r = f(&mut self.nodes[i], &mut ctx);
+        self.flush(i);
+        r
+    }
+
+    fn flush(&mut self, from: usize) {
+        for (dst, msg) in self.outbox.drain(..) {
+            let size = msg.wire_size();
+            self.net.record_out(from, size, msg.flow());
+            let lat = self.topo.latency(from, dst);
+            self.queue
+                .schedule(self.time + lat, SimEvent::Deliver { src: from, dst, msg });
+        }
+        for (delay, token) in self.timers.drain(..) {
+            self.queue
+                .schedule(self.time + delay, SimEvent::Timer { node: from, token });
+        }
+    }
+
+    /// Processes one event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool
+    where
+        N: Node<M, W>,
+    {
+        let Some((at, ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.time, "event queue went backwards");
+        self.time = at;
+        self.steps += 1;
+        match ev {
+            SimEvent::Deliver { src, dst, msg } => {
+                if !self.alive[dst] {
+                    self.net.record_drop();
+                    // Fail-stop notification back to a live sender.
+                    if self.alive[src] && src != dst {
+                        let back = self.topo.latency(dst, src);
+                        self.queue.schedule(
+                            self.time + back,
+                            SimEvent::SendFailed {
+                                origin: src,
+                                dst,
+                                msg,
+                            },
+                        );
+                    }
+                    return true;
+                }
+                self.net.record_in(dst, msg.wire_size());
+                let mut ctx = Ctx {
+                    me: dst,
+                    now: at,
+                    world: &mut self.world,
+                    rng: &mut self.rng,
+                    outbox: &mut self.outbox,
+                    timers: &mut self.timers,
+                };
+                self.nodes[dst].on_message(&mut ctx, src, msg);
+                self.flush(dst);
+            }
+            SimEvent::Timer { node, token } => {
+                if !self.alive[node] {
+                    return true;
+                }
+                let mut ctx = Ctx {
+                    me: node,
+                    now: at,
+                    world: &mut self.world,
+                    rng: &mut self.rng,
+                    outbox: &mut self.outbox,
+                    timers: &mut self.timers,
+                };
+                self.nodes[node].on_timer(&mut ctx, token);
+                self.flush(node);
+            }
+            SimEvent::SendFailed { origin, dst, msg } => {
+                if !self.alive[origin] {
+                    return true;
+                }
+                let mut ctx = Ctx {
+                    me: origin,
+                    now: at,
+                    world: &mut self.world,
+                    rng: &mut self.rng,
+                    outbox: &mut self.outbox,
+                    timers: &mut self.timers,
+                };
+                self.nodes[origin].on_send_failed(&mut ctx, dst, msg);
+                self.flush(origin);
+            }
+        }
+        true
+    }
+
+    /// Runs until the queue drains or `max_steps` events were processed.
+    /// Returns the number of events processed.
+    pub fn run(&mut self, max_steps: u64) -> u64
+    where
+        N: Node<M, W>,
+    {
+        let mut done = 0;
+        while done < max_steps && self.step() {
+            done += 1;
+        }
+        done
+    }
+
+    /// Runs until simulated time reaches `until` or the queue drains.
+    pub fn run_until(&mut self, until: SimTime) -> u64
+    where
+        N: Node<M, W>,
+    {
+        let mut done = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            self.step();
+            done += 1;
+        }
+        if self.time < until {
+            self.time = until;
+        }
+        done
+    }
+
+    /// Consumes the simulator, returning nodes, world and network stats.
+    pub fn into_parts(self) -> (Vec<N>, W, NetStats) {
+        (self.nodes, self.world, self.net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::UniformTopology;
+
+    /// Test payload: a counter that is forwarded `ttl` times around a ring.
+    #[derive(Debug, Clone)]
+    struct Hop {
+        ttl: u32,
+    }
+
+    impl Payload for Hop {
+        fn wire_size(&self) -> usize {
+            10
+        }
+        fn flow(&self) -> Option<u64> {
+            Some(1)
+        }
+    }
+
+    struct RingNode;
+
+    #[derive(Default)]
+    struct World {
+        delivered: Vec<(usize, SimTime)>,
+    }
+
+    impl Node<Hop, World> for RingNode {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Hop, World>, _from: usize, msg: Hop) {
+            ctx.world.delivered.push((ctx.me, ctx.now));
+            if msg.ttl > 0 {
+                let next = (ctx.me + 1) % 4;
+                ctx.send(next, Hop { ttl: msg.ttl - 1 });
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Hop, World>, token: u64) {
+            ctx.send((ctx.me + 1) % 4, Hop { ttl: token as u32 });
+        }
+    }
+
+    fn ring() -> Sim<RingNode, Hop, World> {
+        let topo = Arc::new(UniformTopology::new(4, SimTime::from_millis(10)));
+        Sim::new(
+            topo,
+            vec![RingNode, RingNode, RingNode, RingNode],
+            World::default(),
+            0,
+        )
+    }
+
+    #[test]
+    fn message_ring_accumulates_latency() {
+        let mut sim = ring();
+        sim.schedule_timer(SimTime::ZERO, 0, 3);
+        sim.run(100);
+        // Timer at node 0 sends ttl=3 to node 1; hops 1->2->3->0.
+        let w = sim.world();
+        assert_eq!(w.delivered.len(), 4);
+        assert_eq!(w.delivered[0], (1, SimTime::from_millis(10)));
+        assert_eq!(w.delivered[3], (0, SimTime::from_millis(40)));
+    }
+
+    #[test]
+    fn bandwidth_accounting() {
+        let mut sim = ring();
+        sim.schedule_timer(SimTime::ZERO, 0, 3);
+        sim.run(100);
+        // 4 sends of 10 bytes each, all tagged flow 1.
+        assert_eq!(sim.net().total_msgs(), 4);
+        assert_eq!(sim.net().total_bytes(), 40);
+        assert_eq!(sim.net().flow(1).bytes, 40);
+        assert_eq!(sim.net().node(0).bytes_out, 10);
+        assert_eq!(sim.net().node(1).bytes_in, 10);
+    }
+
+    #[test]
+    fn dead_nodes_drop_messages() {
+        let mut sim = ring();
+        sim.fail(2);
+        sim.schedule_timer(SimTime::ZERO, 0, 3);
+        sim.run(100);
+        // 0 -timer-> 1 -> 2 (dropped).
+        assert_eq!(sim.world().delivered.len(), 1);
+        assert_eq!(sim.net().dropped(), 1);
+    }
+
+    #[test]
+    fn with_node_ctx_flushes_sends() {
+        let mut sim = ring();
+        sim.with_node_ctx(0, |_, ctx| ctx.send(1, Hop { ttl: 0 }));
+        sim.run(10);
+        assert_eq!(sim.world().delivered.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut sim = ring();
+            sim.schedule_timer(SimTime::ZERO, 0, 3);
+            sim.schedule_timer(SimTime::ZERO, 2, 2);
+            sim.run(1000);
+            sim.world().delivered.clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn send_failed_notifies_origin_after_rtt() {
+        struct Retry;
+        #[derive(Default)]
+        struct W {
+            failed: Vec<(usize, SimTime)>,
+        }
+        impl Node<Hop, W> for Retry {
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Hop, W>, _from: usize, _msg: Hop) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Hop, W>, _token: u64) {
+                ctx.send(2, Hop { ttl: 0 });
+            }
+            fn on_send_failed(&mut self, ctx: &mut Ctx<'_, Hop, W>, dst: usize, _msg: Hop) {
+                ctx.world.failed.push((dst, ctx.now));
+            }
+        }
+        let topo = Arc::new(UniformTopology::new(4, SimTime::from_millis(10)));
+        let mut sim = Sim::new(topo, vec![Retry, Retry, Retry, Retry], W::default(), 0);
+        sim.fail(2);
+        sim.schedule_timer(SimTime::ZERO, 0, 0);
+        sim.run(100);
+        // Notification arrives one round trip after the send.
+        assert_eq!(sim.world().failed, vec![(2, SimTime::from_millis(20))]);
+        assert_eq!(sim.net().dropped(), 1);
+    }
+
+    #[test]
+    fn run_until_stops_at_time() {
+        let mut sim = ring();
+        sim.schedule_timer(SimTime::ZERO, 0, 3);
+        sim.run_until(SimTime::from_millis(25));
+        // Deliveries at 10, 20 happen; 30, 40 do not.
+        assert_eq!(sim.world().delivered.len(), 2);
+        assert_eq!(sim.pending(), 1);
+    }
+}

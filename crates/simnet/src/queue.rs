@@ -1,0 +1,166 @@
+//! The simulator's future-event list.
+//!
+//! A binary heap keyed on `(time, sequence)`: two events scheduled for the
+//! same instant pop in scheduling order, which makes every run bit-for-bit
+//! reproducible regardless of heap internals.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What can happen in the network.
+#[derive(Debug, Clone)]
+pub enum SimEvent<M> {
+    /// A message arrives at `dst`.
+    Deliver {
+        /// Sending node index.
+        src: usize,
+        /// Receiving node index.
+        dst: usize,
+        /// Protocol payload.
+        msg: M,
+    },
+    /// A timer fires at `node` with an opaque `token`.
+    Timer {
+        /// Node whose timer fires.
+        node: usize,
+        /// Token the node uses to tell its timers apart.
+        token: u64,
+    },
+    /// The sender learns a message could not be delivered (fail-stop
+    /// "connection refused", surfaced one propagation delay later).
+    SendFailed {
+        /// Original sender, who receives the notification.
+        origin: usize,
+        /// The dead destination.
+        dst: usize,
+        /// The undeliverable message.
+        msg: M,
+    },
+}
+
+#[derive(Debug)]
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    ev: SimEvent<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    // Reversed so BinaryHeap (a max-heap) pops the *earliest* event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Deterministic future-event list.
+#[derive(Debug)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Scheduled<M>>,
+    seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `ev` at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, ev: SimEvent<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, ev });
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, SimEvent<M>)> {
+        self.heap.pop().map(|s| (s.at, s.ev))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: usize, token: u64) -> SimEvent<()> {
+        SimEvent::Timer { node, token }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), timer(0, 3));
+        q.schedule(SimTime::from_micros(10), timer(0, 1));
+        q.schedule(SimTime::from_micros(20), timer(0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, ev)| match ev {
+                SimEvent::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for token in 0..100 {
+            q.schedule(t, timer(0, token));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, ev)| match ev {
+                SimEvent::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q = EventQueue::new();
+        assert!(q.peek_time().is_none());
+        q.schedule(SimTime::from_micros(7), timer(1, 0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(7)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Scalar summaries (count / mean / min / max / percentiles) of a metric.
+
+use serde::{Deserialize, Serialize};
+
+/// Incremental summary of a stream of `f64` samples.
+///
+/// Keeps the raw samples so exact percentiles can be reported (the sample
+/// counts in these simulations — at most a few hundred thousand — make this
+/// cheap and exact, which matters when diffing runs for reproducibility).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Summary {
+    samples: Vec<f64>,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a summary from an iterator of samples.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Records a sample. Non-finite values panic: they indicate a metric
+    /// bug upstream and would silently corrupt mean/percentiles.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "summary sample must be finite, got {x}");
+        self.samples.push(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sum of all samples (0 when empty).
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Arithmetic mean (0 when empty, so tables render gracefully).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.samples.len() as f64
+        }
+    }
+
+    /// Minimum sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .pipe_finite()
+    }
+
+    /// Maximum sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .pipe_finite()
+    }
+
+    /// Exact `q`-percentile by nearest rank (`q` in `[0,1]`; 0 when empty).
+    pub fn percentile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "percentile out of range: {q}");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        sorted[rank - 1]
+    }
+
+    /// Population standard deviation (0 when fewer than 2 samples).
+    pub fn stddev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var =
+            self.samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / self.samples.len() as f64;
+        var.sqrt()
+    }
+
+    /// Borrow the raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+trait PipeFinite {
+    fn pipe_finite(self) -> f64;
+}
+
+impl PipeFinite for f64 {
+    /// Maps the +/-inf sentinels produced by folds over empty slices to 0.
+    fn pipe_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let s = Summary::from_samples([2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.sum(), 20.0);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 8.0);
+    }
+
+    #[test]
+    fn empty_is_zeroes() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let s = Summary::from_samples((1..=100).map(|i| i as f64));
+        assert_eq!(s.percentile(0.5), 50.0);
+        assert_eq!(s.percentile(0.99), 99.0);
+        assert_eq!(s.percentile(1.0), 100.0);
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        let s = Summary::from_samples([3.0, 3.0, 3.0]);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn stddev_known_value() {
+        let s = Summary::from_samples([1.0, 3.0]);
+        assert!((s.stddev() - 1.0).abs() < 1e-12);
+    }
+}

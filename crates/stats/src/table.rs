@@ -1,0 +1,136 @@
+//! Minimal ASCII table renderer for experiment output.
+//!
+//! Every `hypersub-bench` binary prints its table/figure data through this
+//! renderer so runs are diffable and EXPERIMENTS.md can quote them directly.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned ASCII table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new<S: Into<String>>(title: S, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must have the same arity as the header.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience: appends a row of displayable cells.
+    pub fn row_disp<D: std::fmt::Display>(&mut self, cells: &[D]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let mut line = String::new();
+        for (i, h) in self.header.iter().enumerate() {
+            let _ = write!(line, "{:<w$}", h, w = widths[i] + 2);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let total: usize = widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2);
+        let _ = writeln!(out, "{}", "-".repeat(total.max(4)));
+        for row in &self.rows {
+            let mut line = String::new();
+            for i in 0..ncols {
+                let _ = write!(line, "{:<w$}", row[i], w = widths[i] + 2);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a float with `d` decimals, trimming needless trailing zeros for
+/// integers ("3" instead of "3.00").
+pub fn fmt_f64(x: f64, d: usize) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{:.*}", d, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("name"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_f64_trims() {
+        assert_eq!(fmt_f64(3.0, 2), "3");
+        assert_eq!(fmt_f64(2.71828, 2), "2.72");
+    }
+
+    #[test]
+    fn row_disp_accepts_numbers() {
+        let mut t = Table::new("n", &["a", "b"]);
+        t.row_disp(&[1, 2]);
+        assert_eq!(t.len(), 1);
+    }
+}

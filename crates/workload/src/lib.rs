@@ -1,0 +1,23 @@
+//! Synthetic workload generation for HyperSub experiments.
+//!
+//! §5.1 of the paper: "We use synthetic datasets in our simulations.
+//! Events are generated based on Zipfian distribution, which is a common
+//! distribution of real world datasets. [...] Data points are modeled by
+//! scaling and shifting the domain of k. Subscriptions are generated from
+//! a template with the following properties: (1) the size of the range on
+//! each dimension is based on zipfian distribution; (2) the center of the
+//! range is based on the data distribution (same distribution as event
+//! points)."
+//!
+//! [`spec::WorkloadSpec`] captures the Table 1 parameters (per-attribute
+//! domain, data skew & hotspot, size skew & hotspot); [`gen::WorkloadGen`]
+//! turns a spec into deterministic event and subscription streams with
+//! exponentially distributed inter-arrival times.
+
+pub mod gen;
+pub mod spec;
+pub mod zipf;
+
+pub use gen::WorkloadGen;
+pub use spec::{AttributeSpec, WorkloadSpec};
+pub use zipf::ZipfSampler;

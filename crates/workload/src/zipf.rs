@@ -1,0 +1,109 @@
+//! Zipfian rank sampling.
+//!
+//! The paper defines the distribution by its CDF `H_{k,s} / H_{N,s}`
+//! (generalized harmonic numbers with skew factor `s`). We precompute that
+//! CDF once and sample ranks by binary search — exact, O(log N) per
+//! sample, and independent of external distribution crates for the core
+//! definition (rand_distr is still used for the exponential arrivals).
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability proportional to `1/(k+1)^s`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with skew `s >= 0` (s = 0 is
+    /// uniform).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "invalid skew {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws a rank in `0..n` (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// The probability of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cdf_is_normalized_and_monotone() {
+        let z = ZipfSampler::new(100, 0.95);
+        assert!((z.cdf.last().unwrap() - 1.0).abs() < 1e-12);
+        for w in z.cdf.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_low_ranks() {
+        let z = ZipfSampler::new(1000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut low = 0;
+        let n = 100_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                low += 1;
+            }
+        }
+        // With s=1 and N=1000, P(rank < 10) = H_10 / H_1000 ≈ 0.39.
+        let frac = low as f64 / n as f64;
+        assert!((0.35..0.45).contains(&frac), "got {frac}");
+    }
+
+    #[test]
+    fn zero_skew_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = ZipfSampler::new(1, 2.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = ZipfSampler::new(50, 0.7);
+        let total: f64 = (0..50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: build a HyperSub network, subscribe, publish, observe.
+//!
+//! Run with: `cargo run --release -p hypersub-examples --bin quickstart`
+
+use hypersub_core::prelude::*;
+
+fn main() {
+    // 1. Define a pub/sub scheme: two attributes with numeric domains.
+    //    (String prefix/suffix predicates are converted to numeric ranges
+    //    per the paper's model.)
+    let scheme = SchemeDef::builder("quotes")
+        .attribute("price", 0.0, 1_000.0)
+        .attribute("volume", 0.0, 100_000.0)
+        .build(0);
+    let registry = Registry::new(vec![scheme]);
+
+    // 2. Build a 32-node network: Chord ring with PNS fingers over a
+    //    King-like Internet latency model.
+    let mut net = Network::build(NetworkParams {
+        nodes: 32,
+        registry,
+        config: SystemConfig::default(),
+        seed: 42,
+        ..NetworkParams::default()
+    });
+
+    // 3. Subscribe: node 7 wants price in [100, 200] with volume >= 50k.
+    let subid = net.subscribe(
+        7,
+        0,
+        Subscription::new(Rect::new(vec![100.0, 50_000.0], vec![200.0, 100_000.0])),
+    );
+    // Node 12 wants any trade priced in [150, 160].
+    net.subscribe(
+        12,
+        0,
+        Subscription::new(Rect::new(vec![150.0, 0.0], vec![160.0, 100_000.0])),
+    );
+    net.run_to_quiescence(); // let installation traffic settle
+    println!("installed subscriptions; first subid = {subid:?}");
+
+    // 4. Publish: node 3 publishes a trade at (price 155, volume 60k) —
+    //    it matches both subscriptions.
+    let ev = net.publish(3, 0, Point(vec![155.0, 60_000.0]));
+    net.run_to_quiescence();
+
+    // 5. Inspect per-event statistics.
+    let stats = net.event_stats();
+    let s = stats.iter().find(|s| s.event == ev).expect("published");
+    println!(
+        "event {}: matched {} subscription(s), delivered {}, max hops {}, \
+         max latency {}, bandwidth {} bytes",
+        s.event, s.expected, s.delivered, s.max_hops, s.max_latency, s.bandwidth_bytes
+    );
+    assert_eq!(s.delivered, 2);
+    println!("quickstart OK");
+}

@@ -1,0 +1,11 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper at full scale.
+set -u
+cd /root/repo
+BIN=target/release
+for b in table1 table2 fig2 fig4 fig3 baseline_compare ablation_subscheme ablation_rotation ablation_base fig5; do
+  echo "=== $b start $(date +%T) ==="
+  { time $BIN/$b > results/$b.txt ; } 2> results/$b.time || echo "$b FAILED"
+  echo "=== $b done $(date +%T) ==="
+done
+echo ALL_DONE

@@ -1,0 +1,132 @@
+//! Churn integration tests: failures, ring healing, soft-state refresh,
+//! and delivery correctness on the healed network.
+
+use hypersub_core::prelude::*;
+use hypersub_tests::test_network;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn delivery_recovers_after_failures_with_refresh() {
+    let mut net = test_network(64, 61, SystemConfig::default());
+    net.enable_maintenance();
+    let mut rng = SmallRng::seed_from_u64(2);
+    // Subscribers on the first half only; victims from the second half.
+    for node in 0..32 {
+        let c = rng.gen_range(0.0..90.0);
+        net.subscribe(
+            node,
+            0,
+            Subscription::new(Rect::new(vec![c, 0.0], vec![c + 10.0, 100.0])),
+        );
+    }
+    net.run_until(net.time() + SimTime::from_secs(10));
+
+    for victim in [40, 47, 55] {
+        net.fail(victim);
+    }
+    net.run_until(net.time() + SimTime::from_secs(30));
+    net.refresh_all_subscriptions();
+    net.run_until(net.time() + SimTime::from_secs(10));
+
+    let before = net.event_stats().len();
+    let mut t = net.time();
+    for _ in 0..80 {
+        let node = rng.gen_range(0..32);
+        let p = Point(vec![rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)]);
+        net.schedule_publish(t, node, 0, p);
+        t += SimTime::from_millis(80);
+    }
+    net.run_until(t + SimTime::from_secs(20));
+    let all = net.event_stats();
+    let after = &all[before..];
+    for s in after {
+        assert_eq!(
+            s.delivered, s.expected,
+            "post-churn event {}: {} != {}",
+            s.event, s.delivered, s.expected
+        );
+        assert_eq!(s.duplicates, 0);
+    }
+}
+
+#[test]
+fn failed_rendezvous_successor_takes_over() {
+    // Kill a node, then publish an event whose rendezvous key the dead
+    // node owned: its successor must handle it after healing + refresh.
+    let mut net = test_network(32, 67, SystemConfig::default());
+    net.enable_maintenance();
+    for node in 0..8 {
+        net.subscribe(
+            node,
+            0,
+            Subscription::new(Rect::new(vec![0.0, 0.0], vec![100.0, 100.0])),
+        );
+    }
+    net.run_until(net.time() + SimTime::from_secs(5));
+    // Fail a third of the network (not the subscribers).
+    for victim in [10, 14, 18, 22, 26, 30] {
+        net.fail(victim);
+    }
+    net.run_until(net.time() + SimTime::from_secs(40));
+    net.refresh_all_subscriptions();
+    net.run_until(net.time() + SimTime::from_secs(10));
+    let mut rng = SmallRng::seed_from_u64(5);
+    let before = net.event_stats().len();
+    for _ in 0..40 {
+        let p = Point(vec![rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)]);
+        net.publish(rng.gen_range(0..8), 0, p);
+        net.run_until(net.time() + SimTime::from_secs(30));
+    }
+    let all = net.event_stats();
+    for s in &all[before..] {
+        assert_eq!(s.delivered, 8, "every live subscriber gets every event");
+    }
+}
+
+#[test]
+fn messages_to_dead_nodes_are_counted_and_retried() {
+    let mut net = test_network(32, 71, SystemConfig::default());
+    net.enable_maintenance();
+    net.subscribe(
+        0,
+        0,
+        Subscription::new(Rect::new(vec![0.0, 0.0], vec![100.0, 100.0])),
+    );
+    net.run_until(net.time() + SimTime::from_secs(5));
+    net.fail(20);
+    // Publish immediately — stale fingers may still route via node 20.
+    // Fail-stop retry repairs *routing* on the fly; only events whose
+    // matching *state* (rendezvous chain segment) lived on node 20 can
+    // miss until the soft-state refresh below.
+    let before = net.event_stats().len();
+    let mut rng = SmallRng::seed_from_u64(6);
+    for _ in 0..30 {
+        let p = Point(vec![rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)]);
+        net.publish(rng.gen_range(1..32), 0, p);
+    }
+    net.run_until(net.time() + SimTime::from_secs(60));
+    let all = net.event_stats();
+    let delivered_pre = all[before..].iter().filter(|s| s.delivered == 1).count();
+    assert!(
+        delivered_pre >= 24,
+        "retry-around-failure must deliver the vast majority immediately: {delivered_pre}/30"
+    );
+
+    // After refresh, everything delivers again.
+    net.refresh_all_subscriptions();
+    net.run_until(net.time() + SimTime::from_secs(10));
+    let before2 = net.event_stats().len();
+    for _ in 0..30 {
+        let p = Point(vec![rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)]);
+        net.publish(rng.gen_range(1..32), 0, p);
+    }
+    net.run_until(net.time() + SimTime::from_secs(60));
+    let all = net.event_stats();
+    let delivered_post = all[before2..].iter().filter(|s| s.delivered == 1).count();
+    assert_eq!(delivered_post, 30, "post-refresh delivery must be complete");
+    assert!(
+        net.net().dropped() > 0,
+        "messages to the dead node must be counted"
+    );
+}

@@ -1,0 +1,73 @@
+//! Cross-crate property-based tests: for arbitrary workloads, the
+//! delivered set equals the brute-force matched set, on arbitrary ring
+//! sizes and zone bases.
+
+use hypersub_core::prelude::*;
+use hypersub_tests::test_network;
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (
+        0.0f64..100.0,
+        0.0f64..100.0,
+        0.0f64..25.0,
+        0.0f64..25.0,
+    )
+        .prop_map(|(x, y, wx, wy)| {
+            Rect::new(
+                vec![x.min(100.0 - wx.min(99.0)).max(0.0), y.min(100.0 - wy.min(99.0)).max(0.0)],
+                vec![(x + wx).min(100.0), (y + wy).min(100.0)],
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case runs a full network simulation
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn prop_delivered_equals_bruteforce(
+        rects in prop::collection::vec(arb_rect(), 1..20),
+        points in prop::collection::vec((0.0f64..=100.0, 0.0f64..=100.0), 1..8),
+        nodes in 8usize..40,
+        base4 in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let config = if base4 { SystemConfig::base4() } else { SystemConfig::default() };
+        let mut net = test_network(nodes, seed, config);
+        for (i, r) in rects.iter().enumerate() {
+            net.subscribe(i % nodes, 0, Subscription::new(r.clone()));
+        }
+        net.run_to_quiescence();
+        for (i, &(x, y)) in points.iter().enumerate() {
+            let p = Point(vec![x, y]);
+            net.publish((i * 7) % nodes, 0, p);
+        }
+        net.run_to_quiescence();
+        for s in net.event_stats() {
+            prop_assert_eq!(s.delivered, s.expected, "event {}", s.event);
+            prop_assert_eq!(s.duplicates, 0);
+        }
+    }
+
+    #[test]
+    fn prop_bandwidth_and_hops_bounded(
+        seed in 0u64..500,
+        nodes in 8usize..48,
+    ) {
+        let mut net = test_network(nodes, seed, SystemConfig::default());
+        net.subscribe(0, 0, Subscription::new(Rect::new(vec![0.0, 0.0], vec![100.0, 100.0])));
+        net.run_to_quiescence();
+        let ev = net.publish(nodes - 1, 0, Point(vec![50.0, 50.0]));
+        net.run_to_quiescence();
+        let stats = net.event_stats();
+        let s = stats.iter().find(|s| s.event == ev).unwrap();
+        prop_assert_eq!(s.delivered, 1);
+        // Greedy Chord routing halves distance each hop: even with the
+        // zone-tree climb the path is O(log^2 n) at worst, far below n.
+        prop_assert!(s.max_hops as usize <= 4 * 64, "hops {}", s.max_hops);
+        prop_assert!(s.bandwidth_bytes > 0);
+    }
+}

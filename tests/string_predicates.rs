@@ -1,0 +1,83 @@
+//! End-to-end string attributes (§3.1): prefix/suffix predicates
+//! converted to numeric ranges, flowing through the full
+//! subscribe → publish → deliver pipeline.
+
+use hypersub_core::prelude::*;
+use hypersub_core::strings;
+
+/// A "web events" scheme: hostname (forward + reversed encodings for
+/// prefix and suffix predicates) plus a numeric status code.
+fn scheme() -> SchemeDef {
+    SchemeDef::builder("weblog")
+        .attribute("host", 0.0, strings::DOMAIN_MAX)
+        .attribute("host_rev", 0.0, strings::DOMAIN_MAX)
+        .attribute("status", 100.0, 599.0)
+        .build(0)
+}
+
+fn event_point(host: &str, status: f64) -> Point {
+    Point(vec![
+        strings::encode(host),
+        strings::encode_reversed(host),
+        status,
+    ])
+}
+
+#[test]
+fn prefix_and_suffix_subscriptions_deliver_exactly() {
+    let s = scheme();
+    let mut net = Network::build(NetworkParams {
+        nodes: 24,
+        registry: Registry::new(vec![s.clone()]),
+        config: SystemConfig::default(),
+        seed: 91,
+        ..NetworkParams::default()
+    });
+
+    // Node 1: everything from hosts starting with "api".
+    let (lo, hi) = strings::prefix("api");
+    net.subscribe(
+        1,
+        0,
+        Subscription::from_predicates(&s.space, &[(0, lo, hi)]),
+    );
+    // Node 2: server errors from hosts ending in ".io".
+    let (lo, hi) = strings::suffix(".io");
+    net.subscribe(
+        2,
+        0,
+        Subscription::from_predicates(&s.space, &[(1, lo, hi), (2, 500.0, 599.0)]),
+    );
+    // Node 3: one exact host.
+    let (lo, hi) = strings::exact("db9");
+    net.subscribe(
+        3,
+        0,
+        Subscription::from_predicates(&s.space, &[(0, lo, hi)]),
+    );
+    net.run_to_quiescence();
+
+    // (host, status, expected matches)
+    let cases: &[(&str, f64, usize)] = &[
+        ("api-7", 200.0, 1),   // prefix only
+        ("api.io", 503.0, 2),  // prefix + suffix-with-5xx
+        ("db9", 200.0, 1),     // exact only
+        ("web.io", 200.0, 0),  // suffix matches host but status is 2xx
+        ("web.io", 500.0, 1),  // suffix + 5xx
+        ("other", 404.0, 0),
+    ];
+    for &(host, status, want) in cases {
+        let p = event_point(host, status);
+        assert_eq!(
+            net.expected_matches(0, &p).len(),
+            want,
+            "oracle disagrees for {host}/{status}"
+        );
+        let ev = net.publish(5, 0, p);
+        net.run_to_quiescence();
+        let stats = net.event_stats();
+        let st = stats.iter().find(|e| e.event == ev).unwrap();
+        assert_eq!(st.delivered, want, "{host} status {status}");
+        assert_eq!(st.duplicates, 0);
+    }
+}

@@ -12,10 +12,10 @@
 //! through the shared embedded-tree splitter.
 
 use crate::common::{split_targets, to_targets, BaselineWorld};
-use hypersub_core::model::{Event, SubId, SubTarget, Subscription};
-use hypersub_core::msg::{EVENT_BYTES, HEADER_BYTES, SUBID_BYTES};
 use hypersub_chord::routing::{next_hop, NextHop};
 use hypersub_chord::{in_open_closed, ChordState};
+use hypersub_core::model::{Event, SubId, SubTarget, Subscription};
+use hypersub_core::msg::{EVENT_BYTES, HEADER_BYTES, SUBID_BYTES};
 use hypersub_lph::{rotation_offset, ContentSpace};
 use hypersub_simnet::{Ctx, Node, Payload};
 use std::collections::HashMap;
@@ -64,9 +64,7 @@ pub enum AttrMsg {
 impl Payload for AttrMsg {
     fn wire_size(&self) -> usize {
         match self {
-            AttrMsg::Register { sub, .. } => {
-                HEADER_BYTES + 17 + SUBID_BYTES + 16 * sub.rect.dims()
-            }
+            AttrMsg::Register { sub, .. } => HEADER_BYTES + 17 + SUBID_BYTES + 16 * sub.rect.dims(),
             AttrMsg::Publish { .. } => HEADER_BYTES + EVENT_BYTES + SUBID_BYTES,
             AttrMsg::Delivery { targets, .. } => {
                 HEADER_BYTES + EVENT_BYTES + SUBID_BYTES * targets.len()
@@ -310,7 +308,12 @@ impl AttrRingNode {
 }
 
 impl Node<AttrMsg, BaselineWorld> for AttrRingNode {
-    fn on_message(&mut self, ctx: &mut Ctx<'_, AttrMsg, BaselineWorld>, _from: usize, msg: AttrMsg) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, AttrMsg, BaselineWorld>,
+        _from: usize,
+        msg: AttrMsg,
+    ) {
         match msg {
             AttrMsg::Register {
                 cursor,
@@ -336,7 +339,9 @@ impl Node<AttrMsg, BaselineWorld> for AttrRingNode {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, AttrMsg, BaselineWorld>, token: u64) {
         if token >= TOKEN_PUBLISH_BASE {
             let idx = (token - TOKEN_PUBLISH_BASE) as usize;
-            let ev = ctx.world.script[idx].take().expect("scripted event fired twice");
+            let ev = ctx.world.script[idx]
+                .take()
+                .expect("scripted event fired twice");
             self.publish(ctx, ev);
         }
     }

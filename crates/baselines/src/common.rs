@@ -1,11 +1,11 @@
 //! Shared plumbing for the baseline systems: the delivery-splitting helper
 //! and the common world type.
 
-use hypersub_core::metrics::Metrics;
-use hypersub_core::model::{SubTarget, SubId};
-use hypersub_core::world::Oracle;
 use hypersub_chord::routing::{next_hop, NextHop};
 use hypersub_chord::ChordState;
+use hypersub_core::metrics::Metrics;
+use hypersub_core::model::{SubId, SubTarget};
+use hypersub_core::world::Oracle;
 use std::collections::BTreeMap;
 
 /// Shared world for baseline simulations.

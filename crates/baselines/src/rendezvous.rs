@@ -8,10 +8,10 @@
 //! node, which is exactly the scalability concern §2 raises about Ferry.
 
 use crate::common::{split_targets, to_targets, BaselineWorld};
-use hypersub_core::model::{Event, SubId, SubTarget, Subscription};
-use hypersub_core::msg::{EVENT_BYTES, HEADER_BYTES, SUBID_BYTES};
 use hypersub_chord::routing::{next_hop, NextHop};
 use hypersub_chord::ChordState;
+use hypersub_core::model::{Event, SubId, SubTarget, Subscription};
+use hypersub_core::msg::{EVENT_BYTES, HEADER_BYTES, SUBID_BYTES};
 use hypersub_lph::rotation_offset;
 use hypersub_simnet::{Ctx, Node, Payload};
 use std::collections::HashMap;
@@ -54,9 +54,7 @@ pub enum RdvMsg {
 impl Payload for RdvMsg {
     fn wire_size(&self) -> usize {
         match self {
-            RdvMsg::Register { sub, .. } => {
-                HEADER_BYTES + 8 + SUBID_BYTES + 16 * sub.rect.dims()
-            }
+            RdvMsg::Register { sub, .. } => HEADER_BYTES + 8 + SUBID_BYTES + 16 * sub.rect.dims(),
             RdvMsg::Publish { .. } => HEADER_BYTES + EVENT_BYTES + SUBID_BYTES,
             RdvMsg::Delivery { targets, .. } => {
                 HEADER_BYTES + EVENT_BYTES + SUBID_BYTES * targets.len()
@@ -238,7 +236,9 @@ impl Node<RdvMsg, BaselineWorld> for RendezvousNode {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, RdvMsg, BaselineWorld>, token: u64) {
         if token >= TOKEN_PUBLISH_BASE {
             let idx = (token - TOKEN_PUBLISH_BASE) as usize;
-            let ev = ctx.world.script[idx].take().expect("scripted event fired twice");
+            let ev = ctx.world.script[idx]
+                .take()
+                .expect("scripted event fired twice");
             self.publish(ctx, ev);
         }
     }

@@ -11,7 +11,11 @@ use rayon::prelude::*;
 
 fn main() {
     let quick = is_quick();
-    let bases: Vec<(u8, &str)> = vec![(1, "base 2, level 20"), (2, "base 4, level 10"), (4, "base 16, level 5")];
+    let bases: Vec<(u8, &str)> = vec![
+        (1, "base 2, level 20"),
+        (2, "base 4, level 10"),
+        (4, "base 16, level 5"),
+    ];
     let configs: Vec<ExperimentConfig> = bases
         .iter()
         .map(|&(bits, label)| {

@@ -116,7 +116,14 @@ fn main() {
         .collect();
     let mut t = Table::new(
         "Ablation A2: zone-mapping rotation, 4 schemes sharing the ring",
-        &["config", "max load", "mean load", "max/mean", "Gini", "complete %"],
+        &[
+            "config",
+            "max load",
+            "mean load",
+            "max/mean",
+            "Gini",
+            "complete %",
+        ],
     );
     for o in &outcomes {
         t.row(&[

@@ -55,7 +55,11 @@ fn run(label: &str, subschemes: Option<Vec<Vec<usize>>>, quick: bool) -> Outcome
     // Partial subscriptions: half constrain {0,1}, half {2,3}.
     for node in 0..cfg.nodes {
         for k in 0..cfg.spec.subs_per_node {
-            let dims: &[usize] = if (node + k) % 2 == 0 { &[0, 1] } else { &[2, 3] };
+            let dims: &[usize] = if (node + k) % 2 == 0 {
+                &[0, 1]
+            } else {
+                &[2, 3]
+            };
             net.subscribe(node, 0, gen.subscription_on(dims));
         }
     }

@@ -91,7 +91,12 @@ fn run_hypersub(quick: bool, spec: &WorkloadSpec, seed: u64) -> Row {
         t += gen.interarrival();
     }
     net.run_to_quiescence();
-    summarize("HyperSub", install_msgs, net.node_loads(), net.event_stats())
+    summarize(
+        "HyperSub",
+        install_msgs,
+        net.node_loads(),
+        net.event_stats(),
+    )
 }
 
 fn run_rendezvous(quick: bool, spec: &WorkloadSpec, seed: u64) -> Row {
@@ -197,9 +202,7 @@ fn main() {
         run_attr_ring(quick, &spec, seed),
     ];
     let (nodes, subs_per_node, n_events) = scale(quick);
-    println!(
-        "network: {nodes} nodes, {subs_per_node} subs/node, {n_events} events\n"
-    );
+    println!("network: {nodes} nodes, {subs_per_node} subs/node, {n_events} events\n");
     let mut t = Table::new(
         "Baseline comparison (same ring, same workload)",
         &[

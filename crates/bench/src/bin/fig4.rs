@@ -21,7 +21,11 @@ fn main() {
 
     let mut header: Vec<String> = vec!["rank".to_string()];
     for (r, loads) in results.iter().zip(&ranked) {
-        header.push(format!("{} (max {})", r.label, loads.first().copied().unwrap_or(0)));
+        header.push(format!(
+            "{} (max {})",
+            r.label,
+            loads.first().copied().unwrap_or(0)
+        ));
     }
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut t = Table::new(

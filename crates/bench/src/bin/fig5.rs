@@ -20,10 +20,8 @@ fn main() {
             (false, SystemConfig::default()),
             (true, SystemConfig::default().with_lb()),
         ] {
-            let mut c = ExperimentConfig::paper_default().with_label(&format!(
-                "n={n} {}",
-                if lb { "LB" } else { "no LB" }
-            ));
+            let mut c = ExperimentConfig::paper_default()
+                .with_label(&format!("n={n} {}", if lb { "LB" } else { "no LB" }));
             c.nodes = n;
             c.system = system;
             if quick {

@@ -35,11 +35,11 @@ fn main() {
     }
     println!("{t}");
 
-    let mut t = Table::new(
-        "Workload scale parameters",
-        &["parameter", "value"],
-    );
-    t.row(&["subscriptions per node".into(), spec.subs_per_node.to_string()]);
+    let mut t = Table::new("Workload scale parameters", &["parameter", "value"]);
+    t.row(&[
+        "subscriptions per node".into(),
+        spec.subs_per_node.to_string(),
+    ]);
     t.row(&["events".into(), spec.events.to_string()]);
     t.row(&[
         "mean event inter-arrival".into(),
@@ -63,8 +63,7 @@ fn main() {
     let avg_matched = 100.0 * matched_total as f64 / (events.len() * subs.len()) as f64;
     let mut avg_size_frac = vec![0.0f64; spec.dims()];
     for s in &subs {
-        for d in 0..spec.dims() {
-            let a = &spec.attrs[d];
+        for (d, a) in spec.attrs.iter().enumerate() {
             avg_size_frac[d] += (s.rect.hi[d] - s.rect.lo[d]) / (a.max - a.min);
         }
     }
@@ -73,10 +72,10 @@ fn main() {
         "avg matched subscriptions per event".into(),
         format!("{avg_matched:.3}% (paper Fig 2a: 0.834%)"),
     ]);
-    for d in 0..spec.dims() {
+    for (d, frac) in avg_size_frac.iter().enumerate() {
         t.row(&[
             format!("avg range size, dim {d}"),
-            format!("{:.2}% of domain", 100.0 * avg_size_frac[d] / subs.len() as f64),
+            format!("{:.2}% of domain", 100.0 * frac / subs.len() as f64),
         ]);
     }
     println!("{t}");

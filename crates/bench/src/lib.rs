@@ -118,7 +118,11 @@ impl ExperimentResult {
 
     /// Mean bandwidth per event, in KB.
     pub fn avg_bandwidth_kb(&self) -> f64 {
-        mean(self.events.iter().map(|e| e.bandwidth_bytes as f64 / 1024.0))
+        mean(
+            self.events
+                .iter()
+                .map(|e| e.bandwidth_bytes as f64 / 1024.0),
+        )
     }
 
     /// Fraction of events fully delivered (delivered == expected).

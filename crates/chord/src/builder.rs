@@ -127,11 +127,9 @@ pub fn build_ring_with_ids(
                     // [start, next_start) to preserve routing progress.
                     let in_interval = if i == 63 {
                         // Interval covers half the ring ending at id.
-                        clockwise_distance(start, cand.id)
-                            < clockwise_distance(start, st.id)
+                        clockwise_distance(start, cand.id) < clockwise_distance(start, st.id)
                     } else {
-                        clockwise_distance(start, cand.id)
-                            < clockwise_distance(start, next_start)
+                        clockwise_distance(start, cand.id) < clockwise_distance(start, next_start)
                     };
                     if !in_interval {
                         break;

@@ -93,19 +93,32 @@ pub struct Outcome {
     pub app_lookup: Option<(u64, Peer)>,
 }
 
+/// Consecutive unanswered stabilize probes tolerated before a peer is
+/// declared dead. One miss must not evict: on a lossy network a single
+/// lost `GetNeighbors` (or its reply) is routine, and fail-stop death is
+/// still detected fast via the send-failure notification path.
+pub const STABILIZE_STRIKE_LIMIT: u32 = 3;
+
 /// Chord state plus maintenance bookkeeping (periodic-task cursors and the
 /// successor failure detector).
 #[derive(Debug, Clone)]
 pub struct MaintState {
     /// The routing state proper.
     pub chord: ChordState,
-    /// Successor probed by the last stabilize tick and not yet heard from.
-    awaiting_stab: Option<usize>,
+    /// Unanswered probes before eviction (see [`STABILIZE_STRIKE_LIMIT`]).
+    pub strike_limit: u32,
+    /// Successor probed by the last stabilize tick and not yet heard from,
+    /// with its count of consecutive missed replies so far.
+    awaiting_stab: Option<(usize, u32)>,
     /// Predecessor probed by the last stabilize tick and not yet heard
-    /// from (Chord's `check_predecessor`).
-    awaiting_pred: Option<usize>,
+    /// from (Chord's `check_predecessor`), with missed-reply count.
+    awaiting_pred: Option<(usize, u32)>,
     /// Round-robin finger refresh cursor.
     next_finger: usize,
+    /// Bootstrap contact remembered from `start_join`; re-probed by
+    /// stabilize while this node still has no successors (a lossy network
+    /// can swallow the one-shot join lookup).
+    bootstrap: Option<usize>,
     /// Peers this node has itself observed dead. Gossip (successor lists
     /// from neighbors) is filtered against this set — otherwise evicted
     /// nodes leak straight back in and the ring never heals.
@@ -117,9 +130,11 @@ impl MaintState {
     pub fn new(chord: ChordState) -> Self {
         Self {
             chord,
+            strike_limit: STABILIZE_STRIKE_LIMIT,
             awaiting_stab: None,
             awaiting_pred: None,
             next_finger: 0,
+            bootstrap: None,
             dead: HashSet::new(),
         }
     }
@@ -148,16 +163,20 @@ impl MaintState {
     pub fn note_dead(&mut self, idx: usize) {
         self.chord.evict(idx);
         self.dead.insert(idx);
-        if self.awaiting_stab == Some(idx) {
+        if self.awaiting_stab.map(|(i, _)| i) == Some(idx) {
             self.awaiting_stab = None;
         }
-        if self.awaiting_pred == Some(idx) {
+        if self.awaiting_pred.map(|(i, _)| i) == Some(idx) {
             self.awaiting_pred = None;
         }
     }
 
-    /// Begins a join via `bootstrap` (a simulator index of any ring member).
+    /// Begins a join via `bootstrap` (a simulator index of any ring
+    /// member). The contact is remembered: while this node still has no
+    /// successors, each stabilize tick re-issues the join lookup, so a
+    /// lost bootstrap exchange only delays the join by one period.
     pub fn start_join(&mut self, bootstrap: usize) -> Sends {
+        self.bootstrap = Some(bootstrap);
         vec![(
             bootstrap,
             ChordMsg::FindSuccessor {
@@ -185,27 +204,62 @@ impl MaintState {
         }
     }
 
-    /// One stabilize tick: evict an unresponsive successor, then probe the
-    /// current one. Call at a fixed period.
+    /// One stabilize tick: strike (and at the limit evict) unresponsive
+    /// probed peers, then probe the current successor and predecessor.
+    /// Call at a fixed period.
     pub fn stabilize_tick(&mut self) -> Sends {
-        if let Some(idx) = self.awaiting_stab.take() {
-            // No reply since last tick: declare it dead.
-            self.note_dead(idx);
-        }
-        if let Some(idx) = self.awaiting_pred.take() {
-            // Predecessor unresponsive: clear it so the true predecessor
-            // (who keeps notifying us) can take the slot, and so our
-            // responsibility arc is not stuck behind a dead node.
-            self.note_dead(idx);
-        }
+        // Unanswered probes accumulate strikes; only a run of
+        // `strike_limit` consecutive misses evicts. Strikes carry over
+        // only while the probed peer stays the same.
+        let stab_miss = match self.awaiting_stab.take() {
+            Some((idx, miss)) if miss + 1 >= self.strike_limit => {
+                self.note_dead(idx);
+                None
+            }
+            Some((idx, miss)) => Some((idx, miss + 1)),
+            None => None,
+        };
+        let pred_miss = match self.awaiting_pred.take() {
+            Some((idx, miss)) if miss + 1 >= self.strike_limit => {
+                // Predecessor unresponsive: clear it so the true
+                // predecessor (who keeps notifying us) can take the slot,
+                // and so our responsibility arc is not stuck behind a dead
+                // node.
+                self.note_dead(idx);
+                None
+            }
+            Some((idx, miss)) => Some((idx, miss + 1)),
+            None => None,
+        };
         let mut sends = Vec::new();
         if let Some(succ) = self.chord.successor() {
-            self.awaiting_stab = Some(succ.idx);
+            let carried = match stab_miss {
+                Some((idx, miss)) if idx == succ.idx => miss,
+                _ => 0,
+            };
+            self.awaiting_stab = Some((succ.idx, carried));
             sends.push((succ.idx, ChordMsg::GetNeighbors));
+        } else if let Some(boot) = self.bootstrap {
+            // Still ringless: the one-shot join must have been lost —
+            // retry it.
+            if !self.dead.contains(&boot) {
+                sends.push((
+                    boot,
+                    ChordMsg::FindSuccessor {
+                        key: self.chord.id,
+                        origin: self.chord.me(),
+                        purpose: LookupPurpose::Join,
+                    },
+                ));
+            }
         }
         if let Some(pred) = self.chord.predecessor {
-            if Some(pred.idx) != self.awaiting_stab {
-                self.awaiting_pred = Some(pred.idx);
+            if self.awaiting_stab.map(|(i, _)| i) != Some(pred.idx) {
+                let carried = match pred_miss {
+                    Some((idx, miss)) if idx == pred.idx => miss,
+                    _ => 0,
+                };
+                self.awaiting_pred = Some((pred.idx, carried));
                 sends.push((pred.idx, ChordMsg::GetNeighbors));
             }
         }
@@ -236,6 +290,10 @@ impl MaintState {
 
     /// Handles an incoming maintenance message.
     pub fn handle(&mut self, from: usize, msg: ChordMsg) -> Outcome {
+        // Receiving anything from a peer is direct liveness evidence:
+        // lift its tombstone (e.g. a healed partition re-introducing
+        // peers this side had struck out).
+        self.dead.remove(&from);
         let mut out = Outcome::default();
         match msg {
             ChordMsg::FindSuccessor {
@@ -284,11 +342,19 @@ impl MaintState {
                 // A node with no successor and not responsible: drop (it is
                 // not part of any ring yet and should not be routed to).
             }
-            ChordMsg::FoundSuccessor { key, owner, purpose } => match purpose {
+            ChordMsg::FoundSuccessor {
+                key,
+                owner,
+                purpose,
+            } => match purpose {
                 LookupPurpose::Join => {
                     self.chord.add_successor(owner);
-                    out.sends
-                        .push((owner.idx, ChordMsg::Notify { peer: self.chord.me() }));
+                    out.sends.push((
+                        owner.idx,
+                        ChordMsg::Notify {
+                            peer: self.chord.me(),
+                        },
+                    ));
                 }
                 LookupPurpose::Finger(i) => {
                     self.chord.fingers[i as usize] = Some(owner);
@@ -308,11 +374,11 @@ impl MaintState {
                 ));
             }
             ChordMsg::NeighborsReply { pred, succs } => {
-                let is_succ_probe = self.awaiting_stab == Some(from);
+                let is_succ_probe = self.awaiting_stab.map(|(i, _)| i) == Some(from);
                 if is_succ_probe {
                     self.awaiting_stab = None;
                 }
-                if self.awaiting_pred == Some(from) {
+                if self.awaiting_pred.map(|(i, _)| i) == Some(from) {
                     self.awaiting_pred = None;
                     if !is_succ_probe {
                         // Predecessor liveness probe only: its successor
@@ -351,8 +417,12 @@ impl MaintState {
                     }
                 }
                 if let Some(succ) = self.chord.successor() {
-                    out.sends
-                        .push((succ.idx, ChordMsg::Notify { peer: self.chord.me() }));
+                    out.sends.push((
+                        succ.idx,
+                        ChordMsg::Notify {
+                            peer: self.chord.me(),
+                        },
+                    ));
                 }
             }
             ChordMsg::Notify { peer } => {
@@ -409,7 +479,12 @@ impl ChordNode {
 }
 
 impl Node<ChordMsg, ChordWorld> for ChordNode {
-    fn on_send_failed(&mut self, _ctx: &mut Ctx<'_, ChordMsg, ChordWorld>, dst: usize, _msg: ChordMsg) {
+    fn on_send_failed(
+        &mut self,
+        _ctx: &mut Ctx<'_, ChordMsg, ChordWorld>,
+        dst: usize,
+        _msg: ChordMsg,
+    ) {
         self.maint.note_dead(dst);
     }
 

@@ -143,7 +143,10 @@ mod tests {
             max_hops = max_hops.max(path.len() - 1);
         }
         // log2(256) = 8; PNS/successor lists keep it close to that.
-        assert!(max_hops <= 16, "max hops {max_hops} too large for 256 nodes");
+        assert!(
+            max_hops <= 16,
+            "max hops {max_hops} too large for 256 nodes"
+        );
     }
 
     #[test]

@@ -41,7 +41,10 @@ pub struct ChordState {
 impl ChordState {
     /// Fresh state for a node that has not joined any ring.
     pub fn new(id: NodeId, idx: usize, succ_list_len: usize) -> Self {
-        assert!(succ_list_len >= 1, "successor list must hold at least one entry");
+        assert!(
+            succ_list_len >= 1,
+            "successor list must hold at least one entry"
+        );
         Self {
             id,
             idx,

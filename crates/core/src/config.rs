@@ -47,6 +47,32 @@ impl LbConfig {
     }
 }
 
+/// Ack/retransmit configuration for request-shaped protocol steps
+/// (registration, unsubscription, chain pushes, migration handoff,
+/// delivery hops). Off by default: on an ideal network the fail-stop
+/// `on_send_failed` path already covers dead destinations, and acks would
+/// only add traffic. Enable it (`SystemConfig::with_retries`) when the
+/// network can silently lose messages (fault injection).
+#[derive(Debug, Clone)]
+pub struct RetryConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Timeout before the first retransmit; doubles per attempt.
+    pub base_timeout: SimTime,
+    /// Total transmission attempts (first send included) before giving up.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            base_timeout: SimTime::from_millis(250),
+            max_attempts: 5,
+        }
+    }
+}
+
 /// Whole-system configuration shared by every node.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
@@ -55,6 +81,8 @@ pub struct SystemConfig {
     pub zone: ZoneParams,
     /// Load balancing settings.
     pub lb: LbConfig,
+    /// Ack/retransmit settings.
+    pub retry: RetryConfig,
 }
 
 impl Default for SystemConfig {
@@ -62,6 +90,7 @@ impl Default for SystemConfig {
         Self {
             zone: ZoneParams::base2_level20(),
             lb: LbConfig::default(),
+            retry: RetryConfig::default(),
         }
     }
 }
@@ -78,6 +107,13 @@ impl SystemConfig {
     /// Enables load balancing with the paper's parameters.
     pub fn with_lb(mut self) -> Self {
         self.lb = LbConfig::paper_default();
+        self
+    }
+
+    /// Enables ack + bounded-exponential-backoff retransmission for
+    /// request-shaped protocol messages.
+    pub fn with_retries(mut self) -> Self {
+        self.retry.enabled = true;
         self
     }
 }
@@ -106,5 +142,13 @@ mod tests {
     #[test]
     fn with_lb_enables() {
         assert!(SystemConfig::default().with_lb().lb.enabled);
+    }
+
+    #[test]
+    fn retries_default_off_and_enable() {
+        let c = SystemConfig::default();
+        assert!(!c.retry.enabled);
+        assert_eq!(c.retry.max_attempts, 5);
+        assert!(SystemConfig::default().with_retries().retry.enabled);
     }
 }

@@ -43,7 +43,10 @@ impl HyperSubNode {
         let scheme = self.registry.scheme(scheme_id);
         let n_subschemes = scheme.subschemes.len() as u8;
         for ss in 0..n_subschemes {
-            let proj = self.registry.scheme(scheme_id).project_point(ss, &event.point);
+            let proj = self
+                .registry
+                .scheme(scheme_id)
+                .project_point(ss, &event.point);
             let (_leaf, target) = self.rendezvous_target(scheme_id, ss, &proj);
             let msg = DeliveryMsg {
                 scheme: scheme_id,
@@ -92,9 +95,13 @@ impl HyperSubNode {
             }
         }
 
-        // Phase 2: forward one aggregated message per DHT link.
+        // Phase 2: forward one aggregated message per DHT link. Reliable
+        // when retries are on: a lost hop loses every subscriber behind
+        // it, and re-processing a retransmitted copy is idempotent (all
+        // delivery effects are guarded by the dedup cache).
         for (idx, targets) in by_hop {
-            ctx.send(
+            self.send_reliable(
+                ctx,
                 idx,
                 HyperMsg::Delivery(DeliveryMsg {
                     scheme: msg.scheme,
@@ -157,10 +164,13 @@ impl HyperSubNode {
                 // soft-state refresh re-establishes valid chains.
                 let _ = iid;
             }
-            Some(iid) => match self.iids.get(&iid).copied() {
-                Some(IidTarget::Local) => {
-                    // Deliver to the local application/user (once).
-                    if self.dedup.insert((msg.event.id, iid)) {
+            // Each (event, iid) pair is handled at most once per node —
+            // the visit-once invariant that makes delivery idempotent
+            // under retransmission and fault-injected duplication.
+            Some(iid) if self.dedup.insert((msg.event.id, iid)) => {
+                match self.iids.get(&iid).copied() {
+                    Some(IidTarget::Local) => {
+                        // Deliver to the local application/user.
                         ctx.world.metrics.record_delivery(
                             msg.event.id,
                             SubId { nid: t.nid, iid },
@@ -168,25 +178,23 @@ impl HyperSubNode {
                             msg.hops,
                         );
                     }
-                }
-                Some(IidTarget::Repo(key)) => {
-                    if self.dedup.insert((msg.event.id, iid)) {
+                    Some(IidTarget::Repo(key)) => {
                         if let Some(repo) = self.repos.get_mut(&key) {
                             merge(repo.match_point(&msg.event.point, proj), queue);
                         }
                     }
-                }
-                Some(IidTarget::Hosted) => {
-                    if self.dedup.insert((msg.event.id, iid)) {
+                    Some(IidTarget::Hosted) => {
                         if let Some(h) = self.hosted.get(&iid) {
                             merge(h.match_point(&msg.event.point), queue);
                         }
                     }
+                    // Stale target (e.g. responsibility shifted after
+                    // churn): nothing to do.
+                    None => {}
                 }
-                // Stale target (e.g. responsibility shifted after churn):
-                // nothing to do.
-                None => {}
-            },
+            }
+            // Duplicate (event, iid): already handled above.
+            Some(_) => {}
         }
     }
 }

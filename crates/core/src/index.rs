@@ -110,7 +110,7 @@ mod tests {
 
     #[test]
     fn degenerate_range_yields_no_grid() {
-        let entries = vec![(sid(1), rect1(5.0, 5.0)), (sid(2), rect1(5.0, 5.0))];
+        let entries = [(sid(1), rect1(5.0, 5.0)), (sid(2), rect1(5.0, 5.0))];
         assert!(GridIndex::build(entries.iter().map(|(a, b)| (a, b))).is_none());
     }
 
@@ -129,7 +129,7 @@ mod tests {
 
     #[test]
     fn out_of_range_queries_clamp() {
-        let entries = vec![(sid(1), rect1(10.0, 20.0)), (sid(2), rect1(30.0, 40.0))];
+        let entries = [(sid(1), rect1(10.0, 20.0)), (sid(2), rect1(30.0, 40.0))];
         let grid = GridIndex::build(entries.iter().map(|(a, b)| (a, b))).unwrap();
         // Clamped queries return a (possibly empty) cell, never panic.
         let _ = grid.candidates(-5.0);

@@ -13,7 +13,7 @@
 //!   delivery later climbs from leaf rendezvous zones back up to stored
 //!   subscriptions.
 
-use crate::model::{SchemeId, SubId, SubTarget, Subscription, SubschemeId};
+use crate::model::{SchemeId, SubId, SubTarget, SubschemeId, Subscription};
 use crate::msg::{HyperMsg, Routed};
 use crate::node::{HyperSubNode, IidTarget};
 use crate::repo::{RepoKey, StoredSub, ZoneRepo};
@@ -157,7 +157,9 @@ impl HyperSubNode {
             self.handle_routed(ctx, inner);
         } else {
             match next_hop(&self.maint.chord, key) {
-                NextHop::Forward(p) => ctx.send(p.idx, HyperMsg::Route { key, inner }),
+                NextHop::Forward(p) => {
+                    self.send_reliable(ctx, p.idx, HyperMsg::Route { key, inner })
+                }
                 // `responsible_for` was false, so a Local verdict can only
                 // mean a singleton/degenerate ring: handle locally.
                 NextHop::Local => self.handle_routed(ctx, inner),
@@ -185,7 +187,12 @@ impl HyperSubNode {
                 full,
                 proj,
             } => {
-                self.register_entry(ctx, (scheme, ss, zone), subid, StoredSub::Real { full, proj });
+                self.register_entry(
+                    ctx,
+                    (scheme, ss, zone),
+                    subid,
+                    StoredSub::Real { full, proj },
+                );
             }
             Routed::RegisterSurrogate {
                 scheme,
@@ -220,7 +227,8 @@ impl HyperSubNode {
                 }
                 // Migrated away from here? Chase it to the acceptor.
                 if let Some(acceptor) = self.lb.migrated_index.remove(&(rk, subid)) {
-                    ctx.send(
+                    self.send_reliable(
+                        ctx,
                         acceptor.idx,
                         HyperMsg::Route {
                             key: acceptor.id,

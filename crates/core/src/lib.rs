@@ -68,6 +68,7 @@ pub mod model;
 pub mod msg;
 pub mod node;
 pub mod repo;
+pub mod retry;
 pub mod sim;
 pub mod strings;
 pub mod world;

@@ -131,15 +131,20 @@ impl HyperSubNode {
             return;
         }
         let my_load = self.load();
-        let avg = self.lb.samples.values().map(|&(l, _)| l as f64).sum::<f64>()
+        let avg = self
+            .lb
+            .samples
+            .values()
+            .map(|&(l, _)| l as f64)
+            .sum::<f64>()
             / self.lb.samples.len() as f64;
         // §4: the per-node threshold reflects capacity — a beefier node
         // tolerates proportionally more load before shedding. The
         // capacity-scaled absolute floor keeps the relative rule
         // meaningful when all neighbors are (near-)empty.
         let cap = self.capacity.max(1e-9);
-        let threshold = (avg * (1.0 + self.cfg.lb.delta) * cap)
-            .max(self.cfg.lb.min_load as f64 * cap);
+        let threshold =
+            (avg * (1.0 + self.cfg.lb.delta) * cap).max(self.cfg.lb.min_load as f64 * cap);
         if (my_load as f64) <= threshold {
             return;
         }
@@ -225,7 +230,12 @@ impl HyperSubNode {
                 .collect();
             ids.sort_unstable();
             for sid in ids {
-                pool.push((h.source, SubOrigin::Hosted(hid), sid, h.entries[&sid].clone()));
+                pool.push((
+                    h.source,
+                    SubOrigin::Hosted(hid),
+                    sid,
+                    h.entries[&sid].clone(),
+                ));
             }
         }
 
@@ -282,7 +292,8 @@ impl HyperSubNode {
                     entries,
                 });
             }
-            ctx.send(
+            self.send_reliable(
+                ctx,
                 targets[i].idx,
                 HyperMsg::Migrate {
                     origin: me,
@@ -330,7 +341,7 @@ impl HyperSubNode {
         }
         if !acks.is_empty() {
             let me = self.maint.chord.me();
-            ctx.send(origin.idx, HyperMsg::MigrateAck { me, acks });
+            self.send_reliable(ctx, origin.idx, HyperMsg::MigrateAck { me, acks });
         }
     }
 

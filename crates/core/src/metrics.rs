@@ -126,8 +126,8 @@ impl Metrics {
 }
 
 /// Aggregated statistics for one event — one row of the paper's Figure 2
-/// dataset.
-#[derive(Debug, Clone, Copy)]
+/// dataset. `PartialEq` supports replay-determinism assertions.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EventStats {
     /// Event id.
     pub event: u64,

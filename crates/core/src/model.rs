@@ -48,7 +48,10 @@ pub struct SubTarget {
 impl SubTarget {
     /// The rendezvous marker for a zone key.
     pub fn rendezvous(key: u64) -> Self {
-        Self { nid: key, iid: None }
+        Self {
+            nid: key,
+            iid: None,
+        }
     }
 
     /// A concrete subscription target.
@@ -224,7 +227,10 @@ impl SchemeBuilder {
 
     /// Finalizes the definition with the given scheme id.
     pub fn build(self, id: SchemeId) -> SchemeDef {
-        assert!(!self.attrs.is_empty(), "scheme needs at least one attribute");
+        assert!(
+            !self.attrs.is_empty(),
+            "scheme needs at least one attribute"
+        );
         let space = ContentSpace::new(
             self.attrs
                 .iter()
@@ -236,10 +242,7 @@ impl SchemeBuilder {
         } else {
             self.subschemes
         };
-        assert!(
-            subschemes.len() <= u8::MAX as usize,
-            "too many subschemes"
-        );
+        assert!(subschemes.len() <= u8::MAX as usize, "too many subschemes");
         let defs = subschemes
             .iter()
             .enumerate()
@@ -421,6 +424,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "id must equal its index")]
     fn registry_checks_ids() {
-        Registry::new(vec![SchemeDef::builder("x").attribute("a", 0.0, 1.0).build(5)]);
+        Registry::new(vec![SchemeDef::builder("x")
+            .attribute("a", 0.0, 1.0)
+            .build(5)]);
     }
 }

@@ -173,6 +173,20 @@ pub enum HyperMsg {
     },
     /// Embedded Chord maintenance traffic.
     Chord(ChordMsg),
+    /// A request-shaped message sent with ack/retransmit protection: the
+    /// receiver acks `token` to the sender, then processes `inner`. An
+    /// 8-byte token rides along on the wire.
+    Reliable {
+        /// Sender-unique retransmission token.
+        token: u64,
+        /// The protected message.
+        inner: Box<HyperMsg>,
+    },
+    /// Receipt acknowledgement for a [`HyperMsg::Reliable`] transmission.
+    Ack {
+        /// The acknowledged token.
+        token: u64,
+    },
 }
 
 impl Payload for HyperMsg {
@@ -206,12 +220,15 @@ impl Payload for HyperMsg {
                         .sum::<usize>()
             }
             HyperMsg::Chord(m) => m.wire_size(),
+            HyperMsg::Reliable { inner, .. } => 8 + inner.wire_size(),
+            HyperMsg::Ack { .. } => HEADER_BYTES + 8,
         }
     }
 
     fn flow(&self) -> Option<u64> {
         match self {
             HyperMsg::Delivery(d) => Some(d.event.id),
+            HyperMsg::Reliable { inner, .. } => inner.flow(),
             _ => None,
         }
     }
@@ -269,13 +286,41 @@ mod tests {
     }
 
     #[test]
+    fn reliable_wrapper_adds_token_and_keeps_flow() {
+        let inner = HyperMsg::Delivery(DeliveryMsg {
+            scheme: 0,
+            ss: 0,
+            event: Event {
+                id: 7,
+                point: Point(vec![1.0, 2.0]),
+            },
+            hops: 0,
+            sender: None,
+            targets: vec![SubTarget::rendezvous(1)],
+        });
+        let bare = inner.wire_size();
+        let wrapped = HyperMsg::Reliable {
+            token: 99,
+            inner: Box::new(inner),
+        };
+        assert_eq!(wrapped.wire_size(), bare + 8);
+        assert_eq!(wrapped.flow(), Some(7));
+        let ack = HyperMsg::Ack { token: 99 };
+        assert_eq!(ack.wire_size(), 28);
+        assert_eq!(ack.flow(), None);
+    }
+
+    #[test]
     fn migrate_size_counts_entries() {
         let r = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]);
         let msg = HyperMsg::Migrate {
             origin: Peer { id: 1, idx: 0 },
             batches: vec![MigBatch {
                 source: (0, 0, ZoneCode::ROOT),
-                entries: vec![(SubId { nid: 1, iid: 1 }, r.clone()), (SubId { nid: 2, iid: 1 }, r)],
+                entries: vec![
+                    (SubId { nid: 1, iid: 1 }, r.clone()),
+                    (SubId { nid: 2, iid: 1 }, r),
+                ],
             }],
         };
         // 20 + 12 + (9 + 5 + 2*(9+32))

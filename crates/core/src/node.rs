@@ -89,8 +89,12 @@ pub const TOKEN_LB: u64 = 1;
 pub const TOKEN_STABILIZE: u64 = 2;
 /// Timer token: Chord fix-fingers (churn scenarios only).
 pub const TOKEN_FIX_FINGERS: u64 = 3;
-/// Timer tokens at or above this publish scripted event `token - BASE`.
+/// Timer tokens in `[PUBLISH_BASE, RETRY_BASE)` publish scripted event
+/// `token - PUBLISH_BASE`.
 pub const TOKEN_PUBLISH_BASE: u64 = 1 << 32;
+/// Timer tokens at or above this fire the retransmit check for reliable
+/// send `token - RETRY_BASE` (see `retry.rs`).
+pub const TOKEN_RETRY_BASE: u64 = 1 << 48;
 
 /// A HyperSub node.
 #[derive(Debug, Clone)]
@@ -115,6 +119,8 @@ pub struct HyperSubNode {
     pub maintenance: bool,
     /// Visit-once guard for `(event, repository)` pairs.
     pub dedup: DedupCache,
+    /// Ack/retransmit state for reliable sends (see `retry.rs`).
+    pub rel: crate::retry::RelState,
     /// Relative capacity of this node (§4: each node's threshold factor
     /// "is based on the node's capacity"). 1.0 = baseline; a node with
     /// capacity 2.0 tolerates twice the average load before migrating.
@@ -136,6 +142,7 @@ impl HyperSubNode {
             lb: crate::loadbal::LbState::default(),
             maintenance: false,
             dedup: DedupCache::default(),
+            rel: crate::retry::RelState::default(),
             capacity: 1.0,
             next_iid: 1, // the paper's internal IDs are positive integers
         }
@@ -191,9 +198,21 @@ impl Node<HyperMsg, HyperWorld> for HyperSubNode {
     /// re-route traffic that must not be lost (deliveries and
     /// registrations take the next-best hop; probes and maintenance are
     /// periodic and simply retry next round).
-    fn on_send_failed(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>, dst: usize, msg: HyperMsg) {
+    fn on_send_failed(
+        &mut self,
+        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        dst: usize,
+        msg: HyperMsg,
+    ) {
         self.maint.note_dead(dst);
         match msg {
+            HyperMsg::Reliable { token, inner } => {
+                // Fail-stop beats the retransmit timer: resolve the pending
+                // send now and recover the payload on the repaired routing
+                // state (the timer finds nothing pending and no-ops).
+                self.rel.pending.remove(&token);
+                self.on_send_failed(ctx, dst, *inner);
+            }
             HyperMsg::Delivery(d) => self.handle_delivery(ctx, d),
             HyperMsg::Route { key, inner } => self.handle_route(ctx, key, inner),
             HyperMsg::Migrate { batches, .. } => {
@@ -228,10 +247,16 @@ impl Node<HyperMsg, HyperWorld> for HyperSubNode {
                     ctx.send(dst, HyperMsg::Chord(m));
                 }
             }
+            HyperMsg::Reliable { token, inner } => self.handle_reliable(ctx, from, token, *inner),
+            HyperMsg::Ack { token } => self.handle_ack(token),
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>, token: u64) {
+        if token >= TOKEN_RETRY_BASE {
+            self.retry_fire(ctx, token - TOKEN_RETRY_BASE);
+            return;
+        }
         if token >= TOKEN_PUBLISH_BASE {
             let idx = (token - TOKEN_PUBLISH_BASE) as usize;
             let (scheme, event) = ctx.world.take_scripted(idx);
@@ -240,20 +265,16 @@ impl Node<HyperMsg, HyperWorld> for HyperSubNode {
         }
         match token {
             TOKEN_LB => self.lb_tick(ctx),
-            TOKEN_STABILIZE => {
-                if self.maintenance {
-                    ctx.set_timer(hypersub_chord::proto::STABILIZE_PERIOD, TOKEN_STABILIZE);
-                    for (dst, m) in self.maint.stabilize_tick() {
-                        ctx.send(dst, HyperMsg::Chord(m));
-                    }
+            TOKEN_STABILIZE if self.maintenance => {
+                ctx.set_timer(hypersub_chord::proto::STABILIZE_PERIOD, TOKEN_STABILIZE);
+                for (dst, m) in self.maint.stabilize_tick() {
+                    ctx.send(dst, HyperMsg::Chord(m));
                 }
             }
-            TOKEN_FIX_FINGERS => {
-                if self.maintenance {
-                    ctx.set_timer(hypersub_chord::proto::FIX_FINGERS_PERIOD, TOKEN_FIX_FINGERS);
-                    for (dst, m) in self.maint.fix_fingers_tick() {
-                        ctx.send(dst, HyperMsg::Chord(m));
-                    }
+            TOKEN_FIX_FINGERS if self.maintenance => {
+                ctx.set_timer(hypersub_chord::proto::FIX_FINGERS_PERIOD, TOKEN_FIX_FINGERS);
+                for (dst, m) in self.maint.fix_fingers_tick() {
+                    ctx.send(dst, HyperMsg::Chord(m));
                 }
             }
             _ => {}

@@ -1,0 +1,195 @@
+//! Ack + bounded-exponential-backoff retransmission for request-shaped
+//! protocol messages.
+//!
+//! The fail-stop path (`on_send_failed`) only covers *dead destinations*;
+//! a lossy network (see `hypersub-simnet`'s fault plane) loses messages
+//! silently. This layer makes the request-shaped steps — subscription
+//! registration (Algorithm 2), unsubscription, summary-filter chain
+//! pushes (Algorithm 3), event-delivery hops (Algorithm 5) and the load
+//! balancer's migration handoff (§4) — survive such loss:
+//!
+//! * The sender wraps the message in [`HyperMsg::Reliable`] with a
+//!   sender-unique token, remembers it in [`RelState::pending`], and arms
+//!   a retransmit timer. Unacked messages are re-sent with the timeout
+//!   doubling each attempt, up to `retry.max_attempts` transmissions.
+//! * The receiver acks every `Reliable` it sees, but *processes* each
+//!   `(sender, token)` at most once ([`RelState::seen`]) — so
+//!   retransmissions (and fault-plane duplicates) are exactly-once even
+//!   for handlers that are not idempotent, like migration acceptance.
+//! * Periodic traffic (load probes, Chord maintenance) is *not*
+//!   protected: it re-sends itself every period by construction, and the
+//!   Chord layer tolerates missed rounds via its strike counter.
+//!
+//! Give-up is explicit: registrations are re-established by soft-state
+//! refresh, deliveries accept the residual loss (bounded by
+//! `loss^max_attempts` per hop), and an abandoned migration offer clears
+//! its bookkeeping exactly like a dead-acceptor abort.
+
+use crate::msg::HyperMsg;
+use crate::node::{DedupCache, HyperSubNode, TOKEN_RETRY_BASE};
+use crate::world::HyperWorld;
+use hypersub_simnet::{Ctx, SimTime};
+use std::collections::HashMap;
+
+/// One unacked reliable transmission.
+#[derive(Debug, Clone)]
+pub struct PendingSend {
+    /// Destination node index.
+    pub dst: usize,
+    /// The unwrapped message (re-wrapped with the same token on re-send).
+    pub msg: HyperMsg,
+    /// Transmissions so far (first send counts).
+    pub attempts: u32,
+}
+
+/// Per-node reliable-transmission state.
+#[derive(Debug, Clone)]
+pub struct RelState {
+    /// Outstanding sends by token.
+    pub pending: HashMap<u64, PendingSend>,
+    /// `(token, sender)` pairs already processed — dedups retransmissions
+    /// and fault-injected duplicates.
+    pub seen: DedupCache,
+    next_token: u64,
+}
+
+impl Default for RelState {
+    fn default() -> Self {
+        Self {
+            pending: HashMap::new(),
+            seen: DedupCache::default(),
+            next_token: 1,
+        }
+    }
+}
+
+impl RelState {
+    fn alloc_token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+}
+
+impl HyperSubNode {
+    /// Sends `msg` to `dst` with ack/retransmit protection when retries
+    /// are enabled; plain send otherwise (and always for self-sends,
+    /// which cannot be lost).
+    pub(crate) fn send_reliable(
+        &mut self,
+        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        dst: usize,
+        msg: HyperMsg,
+    ) {
+        if !self.cfg.retry.enabled || dst == ctx.me {
+            ctx.send(dst, msg);
+            return;
+        }
+        let token = self.rel.alloc_token();
+        self.rel.pending.insert(
+            token,
+            PendingSend {
+                dst,
+                msg: msg.clone(),
+                attempts: 1,
+            },
+        );
+        ctx.send(
+            dst,
+            HyperMsg::Reliable {
+                token,
+                inner: Box::new(msg),
+            },
+        );
+        ctx.set_timer(self.cfg.retry.base_timeout, TOKEN_RETRY_BASE + token);
+    }
+
+    /// Receiver side: ack the transmission, then process the payload
+    /// exactly once per `(sender, token)`.
+    pub(crate) fn handle_reliable(
+        &mut self,
+        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        from: usize,
+        token: u64,
+        inner: HyperMsg,
+    ) {
+        ctx.send(from, HyperMsg::Ack { token });
+        if self.rel_seen_insert(token, from) {
+            use hypersub_simnet::Node;
+            self.on_message(ctx, from, inner);
+        }
+    }
+
+    /// Sender side: the destination confirmed receipt.
+    pub(crate) fn handle_ack(&mut self, token: u64) {
+        self.rel.pending.remove(&token);
+    }
+
+    /// Retransmit-timer expiry for `token`: re-send with doubled timeout,
+    /// or give up after the configured attempts.
+    pub(crate) fn retry_fire(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>, token: u64) {
+        let Some(p) = self.rel.pending.get_mut(&token) else {
+            return; // acked (or resolved via SendFailed) in the meantime
+        };
+        if p.attempts >= self.cfg.retry.max_attempts {
+            let p = self.rel.pending.remove(&token).expect("present");
+            self.give_up(p);
+            return;
+        }
+        p.attempts += 1;
+        let exponent = p.attempts - 1; // 2nd transmission waits 2x base, ...
+        let dst = p.dst;
+        let msg = p.msg.clone();
+        ctx.send(
+            dst,
+            HyperMsg::Reliable {
+                token,
+                inner: Box::new(msg),
+            },
+        );
+        let timeout = SimTime::from_micros(
+            self.cfg
+                .retry
+                .base_timeout
+                .as_micros()
+                .saturating_mul(1u64 << exponent.min(32)),
+        );
+        ctx.set_timer(timeout, TOKEN_RETRY_BASE + token);
+    }
+
+    /// All retransmissions exhausted without an ack.
+    fn give_up(&mut self, p: PendingSend) {
+        if let HyperMsg::Migrate { batches, .. } = &p.msg {
+            // Abort the offer like a dead-acceptor abort: entries were not
+            // removed yet (removal happens on MigrateAck), so clearing the
+            // bookkeeping returns them to the migratable pool.
+            for b in batches {
+                if let Some(items) = self.lb.in_flight.remove(&(p.dst, b.source)) {
+                    for item in items {
+                        self.lb.pending.remove(&(b.source, item.subid));
+                    }
+                }
+            }
+        }
+        // Registrations: soft-state refresh re-installs. Deliveries: the
+        // residual loss after max_attempts is the accepted failure floor.
+    }
+
+    fn rel_seen_insert(&mut self, token: u64, from: usize) -> bool {
+        // The dedup cache stores (u64, u32) pairs; node indices fit u32.
+        self.rel.seen.insert((token, from as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_are_unique_and_dense() {
+        let mut r = RelState::default();
+        assert_eq!(r.alloc_token(), 1);
+        assert_eq!(r.alloc_token(), 2);
+        assert_eq!(r.alloc_token(), 3);
+    }
+}

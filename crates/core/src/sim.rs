@@ -171,8 +171,11 @@ impl Network {
     pub fn enable_maintenance(&mut self) {
         for i in 0..self.sim.len() {
             self.sim.node_mut(i).maintenance = true;
-            self.sim
-                .schedule_timer(self.time() + hypersub_chord::proto::STABILIZE_PERIOD, i, TOKEN_STABILIZE);
+            self.sim.schedule_timer(
+                self.time() + hypersub_chord::proto::STABILIZE_PERIOD,
+                i,
+                TOKEN_STABILIZE,
+            );
             self.sim.schedule_timer(
                 self.time() + hypersub_chord::proto::FIX_FINGERS_PERIOD,
                 i,
@@ -184,6 +187,22 @@ impl Network {
     /// Fails a node (messages to it are dropped).
     pub fn fail(&mut self, node: usize) {
         self.sim.fail(node);
+    }
+
+    /// Revives a failed node (state unchanged).
+    pub fn revive(&mut self, node: usize) {
+        self.sim.revive(node);
+    }
+
+    /// Installs a fault plane on the underlying simulator (loss,
+    /// duplication, delay, partitions — see `hypersub_simnet::FaultPlane`).
+    pub fn install_fault_plane(&mut self, plane: hypersub_simnet::FaultPlane) {
+        self.sim.install_fault_plane(plane);
+    }
+
+    /// Mutable access to the installed fault plane, if any.
+    pub fn fault_plane_mut(&mut self) -> Option<&mut hypersub_simnet::FaultPlane> {
+        self.sim.fault_plane_mut()
     }
 
     /// Soft-state refresh on every live node: re-registers all local
@@ -242,10 +261,7 @@ impl Network {
     /// Per-event statistics (Figure 2's dataset).
     pub fn event_stats(&self) -> Vec<EventStats> {
         let total = self.sim.world().oracle.len();
-        self.sim
-            .world()
-            .metrics
-            .event_stats(total, self.sim.net())
+        self.sim.world().metrics.event_stats(total, self.sim.net())
     }
 
     /// Per-node load (stored subscriptions) — Figure 4's dataset.

@@ -89,12 +89,7 @@ mod tests {
     fn encoding_is_order_preserving() {
         let words = ["", "a", "aa", "ab", "b", "ba", "zebra", "zz"];
         for w in words.windows(2) {
-            assert!(
-                encode(w[0]) < encode(w[1]),
-                "{:?} !< {:?}",
-                w[0],
-                w[1]
-            );
+            assert!(encode(w[0]) < encode(w[1]), "{:?} !< {:?}", w[0], w[1]);
         }
     }
 

@@ -175,10 +175,7 @@ mod tests {
         let z = ZoneCode::ROOT.child(&params, 3).child(&params, 1);
         assert_eq!(z.code, 0b11_01);
         assert_eq!(z.level, 2);
-        assert_eq!(
-            z.parent(&params).unwrap(),
-            ZoneCode::ROOT.child(&params, 3)
-        );
+        assert_eq!(z.parent(&params).unwrap(), ZoneCode::ROOT.child(&params, 3));
         assert_eq!(
             z.parent(&params).unwrap().parent(&params).unwrap(),
             ZoneCode::ROOT
@@ -208,7 +205,10 @@ mod tests {
     fn key_matches_paper_formula() {
         // Figure 1 example shape: base 2, zone "01" at level 2.
         let params = p2();
-        let z = ZoneCode { code: 0b01, level: 2 };
+        let z = ZoneCode {
+            code: 0b01,
+            level: 2,
+        };
         // key = (code+1) << (64-2) - 1 = 2 << 62 - 1 = 0x7FFF...
         assert_eq!(z.key(&params), (2u64 << 62).wrapping_sub(1));
     }

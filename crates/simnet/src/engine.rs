@@ -11,6 +11,7 @@
 //! event queue breaks ties by insertion order, so a run is a pure function
 //! of `(nodes, world, topology, seed, scenario)`.
 
+use crate::fault::{FaultPlane, Verdict};
 use crate::queue::{EventQueue, SimEvent};
 use crate::stats::NetStats;
 use crate::time::SimTime;
@@ -93,6 +94,7 @@ pub struct Sim<N, M: Payload, W> {
     time: SimTime,
     net: NetStats,
     rng: SmallRng,
+    fault: Option<FaultPlane>,
     outbox: Vec<(usize, M)>,
     timers: Vec<(SimTime, u64)>,
     steps: u64,
@@ -119,6 +121,7 @@ impl<N, M: Payload, W> Sim<N, M, W> {
             time: SimTime::ZERO,
             net: NetStats::new(n),
             rng: SmallRng::seed_from_u64(seed),
+            fault: None,
             outbox: Vec::new(),
             timers: Vec::new(),
             steps: 0,
@@ -203,6 +206,28 @@ impl<N, M: Payload, W> Sim<N, M, W> {
         self.alive[node]
     }
 
+    /// Installs a fault plane; every subsequent non-self send is judged by
+    /// it. Replaces any previously installed plane.
+    pub fn install_fault_plane(&mut self, plane: FaultPlane) {
+        self.fault = Some(plane);
+    }
+
+    /// Removes the fault plane, restoring an ideal network.
+    pub fn clear_fault_plane(&mut self) -> Option<FaultPlane> {
+        self.fault.take()
+    }
+
+    /// The installed fault plane, if any.
+    pub fn fault_plane(&self) -> Option<&FaultPlane> {
+        self.fault.as_ref()
+    }
+
+    /// Mutable access to the installed fault plane (e.g. to schedule a
+    /// partition mid-run).
+    pub fn fault_plane_mut(&mut self) -> Option<&mut FaultPlane> {
+        self.fault.as_mut()
+    }
+
     /// Schedules a timer on `node` at absolute time `at` (scenario drivers
     /// use this to script subscribes/publishes).
     pub fn schedule_timer(&mut self, at: SimTime, node: usize, token: u64) {
@@ -214,7 +239,11 @@ impl<N, M: Payload, W> Sim<N, M, W> {
     /// then flushes any sends/timers it produced. This is how external
     /// drivers invoke protocol entry points (subscribe, publish)
     /// synchronously.
-    pub fn with_node_ctx<R>(&mut self, i: usize, f: impl FnOnce(&mut N, &mut Ctx<'_, M, W>) -> R) -> R {
+    pub fn with_node_ctx<R>(
+        &mut self,
+        i: usize,
+        f: impl FnOnce(&mut N, &mut Ctx<'_, M, W>) -> R,
+    ) -> R {
         let mut ctx = Ctx {
             me: i,
             now: self.time,
@@ -233,8 +262,45 @@ impl<N, M: Payload, W> Sim<N, M, W> {
             let size = msg.wire_size();
             self.net.record_out(from, size, msg.flow());
             let lat = self.topo.latency(from, dst);
-            self.queue
-                .schedule(self.time + lat, SimEvent::Deliver { src: from, dst, msg });
+            // Self-sends never cross the network, so faults don't apply.
+            let verdict = match &mut self.fault {
+                Some(fp) if dst != from => fp.judge(from, dst, self.time),
+                _ => Verdict::Deliver {
+                    extra: SimTime::ZERO,
+                    dup_extra: None,
+                },
+            };
+            match verdict {
+                Verdict::DropLoss => {
+                    // Silent loss: no SendFailed — recovery is on the
+                    // protocol's ack/retry machinery.
+                    self.net.record_fault_drop();
+                }
+                Verdict::DropPartition => {
+                    self.net.record_partition_drop();
+                }
+                Verdict::Deliver { extra, dup_extra } => {
+                    if let Some(dup) = dup_extra {
+                        self.net.record_duplicate();
+                        self.queue.schedule(
+                            self.time + lat + dup,
+                            SimEvent::Deliver {
+                                src: from,
+                                dst,
+                                msg: msg.clone(),
+                            },
+                        );
+                    }
+                    self.queue.schedule(
+                        self.time + lat + extra,
+                        SimEvent::Deliver {
+                            src: from,
+                            dst,
+                            msg,
+                        },
+                    );
+                }
+            }
         }
         for (delay, token) in self.timers.drain(..) {
             self.queue
@@ -486,6 +552,99 @@ mod tests {
         // Notification arrives one round trip after the send.
         assert_eq!(sim.world().failed, vec![(2, SimTime::from_millis(20))]);
         assert_eq!(sim.net().dropped(), 1);
+    }
+
+    #[test]
+    fn fault_loss_drops_silently() {
+        use crate::fault::{FaultPlane, LinkPolicy};
+        let mut sim = ring();
+        let mut fp = FaultPlane::new(123);
+        fp.set_global_policy(LinkPolicy::loss(1.0));
+        sim.install_fault_plane(fp);
+        sim.schedule_timer(SimTime::ZERO, 0, 3);
+        sim.run(100);
+        // The first hop is lost in-network: nothing delivered, no dead-node
+        // drop recorded, and no SendFailed (delivered would then be > 0).
+        assert_eq!(sim.world().delivered.len(), 0);
+        assert_eq!(sim.net().fault_dropped(), 1);
+        assert_eq!(sim.net().dropped(), 0);
+    }
+
+    #[test]
+    fn fault_duplication_delivers_twice() {
+        use crate::fault::{FaultPlane, LinkPolicy};
+        let mut sim = ring();
+        let mut fp = FaultPlane::new(123);
+        fp.set_global_policy(LinkPolicy::duplication(1.0));
+        sim.install_fault_plane(fp);
+        sim.with_node_ctx(0, |_, ctx| ctx.send(1, Hop { ttl: 0 }));
+        sim.run(100);
+        assert_eq!(sim.world().delivered.len(), 2);
+        assert_eq!(sim.net().duplicated(), 1);
+    }
+
+    #[test]
+    fn partition_drops_cross_cut_then_heals() {
+        use crate::fault::FaultPlane;
+        let mut sim = ring();
+        let mut fp = FaultPlane::new(5);
+        fp.add_partition([0, 1], SimTime::ZERO, SimTime::from_millis(100));
+        sim.install_fault_plane(fp);
+        // During the partition 1 -> 2 crosses the cut.
+        sim.with_node_ctx(1, |_, ctx| ctx.send(2, Hop { ttl: 0 }));
+        sim.run(100);
+        assert_eq!(sim.world().delivered.len(), 0);
+        assert_eq!(sim.net().partition_dropped(), 1);
+        // After healing the same send goes through.
+        sim.run_until(SimTime::from_millis(100));
+        sim.with_node_ctx(1, |_, ctx| ctx.send(2, Hop { ttl: 0 }));
+        sim.run(100);
+        assert_eq!(sim.world().delivered.len(), 1);
+        assert_eq!(sim.net().partition_dropped(), 1);
+    }
+
+    #[test]
+    fn ideal_fault_plane_is_transparent() {
+        use crate::fault::FaultPlane;
+        let run = |with_plane: bool| {
+            let mut sim = ring();
+            if with_plane {
+                sim.install_fault_plane(FaultPlane::new(999));
+            }
+            sim.schedule_timer(SimTime::ZERO, 0, 3);
+            sim.run(1000);
+            let (_, w, net) = sim.into_parts();
+            (w.delivered, net)
+        };
+        let (d0, n0) = run(false);
+        let (d1, n1) = run(true);
+        assert_eq!(d0, d1);
+        assert_eq!(n0, n1);
+    }
+
+    #[test]
+    fn faulty_runs_replay_identically() {
+        use crate::fault::{FaultPlane, LinkPolicy};
+        let run = || {
+            let mut sim = ring();
+            let mut fp = FaultPlane::new(42);
+            fp.set_global_policy(LinkPolicy {
+                drop_prob: 0.2,
+                dup_prob: 0.2,
+                extra_delay: SimTime::from_millis(1),
+                jitter: SimTime::from_millis(4),
+            });
+            sim.install_fault_plane(fp);
+            sim.schedule_timer(SimTime::ZERO, 0, 30);
+            sim.schedule_timer(SimTime::from_millis(3), 2, 30);
+            sim.run(10_000);
+            let (_, w, net) = sim.into_parts();
+            (w.delivered, net)
+        };
+        let (d0, n0) = run();
+        let (d1, n1) = run();
+        assert_eq!(d0, d1);
+        assert_eq!(n0, n1);
     }
 
     #[test]

@@ -20,12 +20,14 @@
 //! simulation is reproducible from a single `u64` seed.
 
 pub mod engine;
+pub mod fault;
 pub mod queue;
 pub mod stats;
 pub mod time;
 pub mod topology;
 
 pub use engine::{Ctx, Node, Payload, Sim};
+pub use fault::{FaultPlane, LinkPolicy, Verdict};
 pub use stats::NetStats;
 pub use time::SimTime;
 pub use topology::{KingLikeTopology, MatrixTopology, Topology, UniformTopology};

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 /// Per-node traffic counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NodeTraffic {
     /// Bytes received.
     pub bytes_in: u64,
@@ -22,7 +22,7 @@ pub struct NodeTraffic {
 }
 
 /// Per-flow traffic counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FlowTraffic {
     /// Total bytes sent carrying this flow id.
     pub bytes: u64,
@@ -31,11 +31,18 @@ pub struct FlowTraffic {
 }
 
 /// Aggregate network statistics for one simulation run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every counter (flow maps compare as maps, so
+/// iteration order is irrelevant); two runs of the same seeded scenario
+/// must produce equal `NetStats`, which the determinism tests assert.
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetStats {
     nodes: Vec<NodeTraffic>,
     flows: HashMap<u64, FlowTraffic>,
     dropped: u64,
+    fault_dropped: u64,
+    partition_dropped: u64,
+    duplicated: u64,
     total_msgs: u64,
     total_bytes: u64,
 }
@@ -47,6 +54,9 @@ impl NetStats {
             nodes: vec![NodeTraffic::default(); n],
             flows: HashMap::new(),
             dropped: 0,
+            fault_dropped: 0,
+            partition_dropped: 0,
+            duplicated: 0,
             total_msgs: 0,
             total_bytes: 0,
         }
@@ -78,6 +88,21 @@ impl NetStats {
         self.dropped += 1;
     }
 
+    /// Records a message silently lost by probabilistic fault injection.
+    pub fn record_fault_drop(&mut self) {
+        self.fault_dropped += 1;
+    }
+
+    /// Records a message dropped by an active network partition.
+    pub fn record_partition_drop(&mut self) {
+        self.partition_dropped += 1;
+    }
+
+    /// Records an extra copy injected by fault duplication.
+    pub fn record_duplicate(&mut self) {
+        self.duplicated += 1;
+    }
+
     /// Counters for one node.
     pub fn node(&self, i: usize) -> NodeTraffic {
         self.nodes[i]
@@ -101,6 +126,21 @@ impl NetStats {
     /// Messages dropped at dead destinations.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Messages silently lost by probabilistic fault injection.
+    pub fn fault_dropped(&self) -> u64 {
+        self.fault_dropped
+    }
+
+    /// Messages dropped by active network partitions.
+    pub fn partition_dropped(&self) -> u64 {
+        self.partition_dropped
+    }
+
+    /// Extra message copies injected by fault duplication.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
     }
 
     /// Total messages sent.

@@ -269,8 +269,8 @@ mod tests {
         let target = SimTime::from_millis(180);
         let t = KingLikeTopology::generate(500, target, 42);
         let avg = t.avg_rtt_sampled(20_000, 7);
-        let err = (avg.as_micros() as f64 - target.as_micros() as f64).abs()
-            / target.as_micros() as f64;
+        let err =
+            (avg.as_micros() as f64 - target.as_micros() as f64).abs() / target.as_micros() as f64;
         assert!(err < 0.05, "avg RTT {avg} too far from target {target}");
     }
 

@@ -33,7 +33,10 @@ impl Cdf {
     /// Adds one sample. Non-finite samples are rejected with a panic, since
     /// they would poison every quantile query downstream.
     pub fn push(&mut self, sample: f64) {
-        assert!(sample.is_finite(), "CDF sample must be finite, got {sample}");
+        assert!(
+            sample.is_finite(),
+            "CDF sample must be finite, got {sample}"
+        );
         self.samples.push(sample);
         self.sorted = false;
     }
@@ -190,10 +193,7 @@ mod tests {
     fn staircase_collapses_duplicates() {
         let mut c = Cdf::from_samples([1.0, 1.0, 2.0, 2.0, 2.0, 5.0]);
         let st = c.staircase();
-        assert_eq!(
-            st,
-            vec![(1.0, 2.0 / 6.0), (2.0, 5.0 / 6.0), (5.0, 1.0)]
-        );
+        assert_eq!(st, vec![(1.0, 2.0 / 6.0), (2.0, 5.0 / 6.0), (5.0, 1.0)]);
     }
 
     #[test]

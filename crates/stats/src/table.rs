@@ -70,7 +70,11 @@ impl Table {
             let _ = write!(line, "{:<w$}", h, w = widths[i] + 2);
         }
         let _ = writeln!(out, "{}", line.trim_end());
-        let total: usize = widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2);
+        let total: usize = widths
+            .iter()
+            .map(|w| w + 2)
+            .sum::<usize>()
+            .saturating_sub(2);
         let _ = writeln!(out, "{}", "-".repeat(total.max(4)));
         for row in &self.rows {
             let mut line = String::new();
@@ -124,7 +128,7 @@ mod tests {
     #[test]
     fn fmt_f64_trims() {
         assert_eq!(fmt_f64(3.0, 2), "3");
-        assert_eq!(fmt_f64(2.71828, 2), "2.72");
+        assert_eq!(fmt_f64(std::f64::consts::E, 2), "2.72");
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Fault-injection demo: a 64-node network under 1% uniform message
+//! loss, a 0.5% duplication rate, 20 ms jitter and a 30-second ring
+//! bisection — with the retry/ack layer keeping delivery complete and
+//! duplicate-free once the partition heals.
+//!
+//! Run with: `cargo run -p hypersub-examples --release --bin fault_injection`
+
+use hypersub_core::prelude::*;
+use hypersub_simnet::{FaultPlane, LinkPolicy};
+
+fn main() {
+    let scheme = SchemeDef::builder("quotes")
+        .attribute("price", 0.0, 100.0)
+        .attribute("volume", 0.0, 100.0)
+        .build(0);
+    let mut net = Network::build(NetworkParams {
+        nodes: 64,
+        registry: Registry::new(vec![scheme]),
+        config: SystemConfig::default().with_retries(),
+        seed: 7,
+        ..NetworkParams::default()
+    });
+
+    // Every node subscribes to a staggered price band.
+    for i in 0..64 {
+        let lo = ((i * 7) % 75) as f64;
+        net.subscribe(
+            i,
+            0,
+            Subscription::new(Rect::new(vec![lo, 0.0], vec![lo + 25.0, 100.0])),
+        );
+    }
+    net.run_to_quiescence();
+
+    // Faults have their own seed, independent of the workload's.
+    let mut faults = FaultPlane::new(99);
+    faults.set_global_policy(
+        LinkPolicy::loss(0.01)
+            .with_duplication(0.005)
+            .with_jitter(SimTime::from_millis(20)),
+    );
+    let t0 = net.time();
+    faults.add_partition(0..32, t0, t0 + SimTime::from_secs(30));
+    net.install_fault_plane(faults);
+
+    // Publish while the ring is bisected: cross-cut pairs are lost.
+    for p in 0..10 {
+        net.schedule_publish(
+            t0 + SimTime::from_secs(2),
+            (p * 5) % 64,
+            0,
+            Point(vec![((p * 17) % 100) as f64, 50.0]),
+        );
+    }
+    net.run_until(t0 + SimTime::from_secs(30));
+    let (del, exp): (usize, usize) = net
+        .event_stats()
+        .iter()
+        .map(|s| (s.delivered, s.expected))
+        .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+    println!("during the partition: {del}/{exp} (event, subscriber) pairs delivered");
+
+    // Heal: soft-state refresh, then publish again under loss alone.
+    net.refresh_all_subscriptions();
+    net.run_to_quiescence();
+    let healed: Vec<u64> = (0..10)
+        .map(|p| {
+            net.publish(
+                (p * 11 + 3) % 64,
+                0,
+                Point(vec![((p * 13 + 7) % 100) as f64, 50.0]),
+            )
+        })
+        .collect();
+    net.run_to_quiescence();
+
+    let stats = net.event_stats();
+    let (del, exp, dup) = stats
+        .iter()
+        .filter(|s| healed.contains(&s.event))
+        .map(|s| (s.delivered, s.expected, s.duplicates))
+        .fold((0, 0, 0), |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2));
+    println!("after it healed:      {del}/{exp} pairs delivered, {dup} duplicates");
+    println!(
+        "network totals:       {} lost to the loss policy, {} cut by the partition, \
+         {} duplicated by the fault plane",
+        net.net().fault_dropped(),
+        net.net().partition_dropped(),
+        net.net().duplicated()
+    );
+}

@@ -46,10 +46,7 @@ fn main() {
             1 => {
                 let sym = rng.gen_range(0..500) as f64;
                 let p0 = rng.gen_range(0..800) as f64;
-                Subscription::from_predicates(
-                    &scheme.space,
-                    &[(0, sym, sym), (1, p0, p0 + 200.0)],
-                )
+                Subscription::from_predicates(&scheme.space, &[(0, sym, sym), (1, p0, p0 + 200.0)])
             }
             // Crash alarm: any symbol dropping more than 5% on volume.
             _ => Subscription::from_predicates(
@@ -105,5 +102,8 @@ fn main() {
         latency.percentile(0.99)
     );
     assert_eq!(incomplete, 0, "every matched trader must get every trade");
-    println!("stock_ticker OK: all {} trades fully delivered", stats.len());
+    println!(
+        "stock_ticker OK: all {} trades fully delivered",
+        stats.len()
+    );
 }

@@ -101,12 +101,7 @@ fn boundary_events_and_degenerate_subscriptions() {
         let stats = net.event_stats();
         let s = stats.iter().find(|s| s.event == ev).unwrap();
         let expected = net.expected_matches(0, &point);
-        assert_eq!(
-            s.delivered,
-            expected.len(),
-            "boundary point {:?}",
-            point
-        );
+        assert_eq!(s.delivered, expected.len(), "boundary point {:?}", point);
         assert_eq!(s.duplicates, 0);
     }
 }
@@ -129,11 +124,7 @@ fn multi_scheme_isolation() {
         ..NetworkParams::default()
     });
     // Identical numeric interests in both schemes.
-    net.subscribe(
-        1,
-        0,
-        Subscription::new(Rect::new(vec![2.0], vec![4.0])),
-    );
+    net.subscribe(1, 0, Subscription::new(Rect::new(vec![2.0], vec![4.0])));
     net.subscribe(
         2,
         1,
@@ -202,9 +193,7 @@ fn subschemes_deliver_exactly() {
 
 #[test]
 fn king_topology_latencies_accumulate() {
-    let scheme = SchemeDef::builder("t")
-        .attribute("x", 0.0, 100.0)
-        .build(0);
+    let scheme = SchemeDef::builder("t").attribute("x", 0.0, 100.0).build(0);
     let mut net = Network::build(NetworkParams {
         nodes: 64,
         registry: Registry::new(vec![scheme]),
@@ -213,11 +202,7 @@ fn king_topology_latencies_accumulate() {
         seed: 31,
         ..NetworkParams::default()
     });
-    net.subscribe(
-        7,
-        0,
-        Subscription::new(Rect::new(vec![0.0], vec![100.0])),
-    );
+    net.subscribe(7, 0, Subscription::new(Rect::new(vec![0.0], vec![100.0])));
     net.run_to_quiescence();
     let ev = net.publish(50, 0, Point(vec![42.0]));
     net.run_to_quiescence();

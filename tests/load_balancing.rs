@@ -15,10 +15,7 @@ fn skewed_subscribe(net: &mut Network, count: usize, seed: u64) {
     for _ in 0..count {
         let node = rng.gen_range(0..nodes);
         let c = rng.gen_range(40.0..41.0); // hot sliver of the domain
-        let sub = Subscription::new(Rect::new(
-            vec![c, 0.0],
-            vec![(c + 0.5).min(100.0), 100.0],
-        ));
+        let sub = Subscription::new(Rect::new(vec![c, 0.0], vec![(c + 0.5).min(100.0), 100.0]));
         net.subscribe(node, 0, sub);
     }
 }

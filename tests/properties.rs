@@ -3,22 +3,20 @@
 //! sizes and zone bases.
 
 use hypersub_core::prelude::*;
+use hypersub_simnet::{FaultPlane, LinkPolicy};
 use hypersub_tests::test_network;
 use proptest::prelude::*;
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
-    (
-        0.0f64..100.0,
-        0.0f64..100.0,
-        0.0f64..25.0,
-        0.0f64..25.0,
-    )
-        .prop_map(|(x, y, wx, wy)| {
-            Rect::new(
-                vec![x.min(100.0 - wx.min(99.0)).max(0.0), y.min(100.0 - wy.min(99.0)).max(0.0)],
-                vec![(x + wx).min(100.0), (y + wy).min(100.0)],
-            )
-        })
+    (0.0f64..100.0, 0.0f64..100.0, 0.0f64..25.0, 0.0f64..25.0).prop_map(|(x, y, wx, wy)| {
+        Rect::new(
+            vec![
+                x.min(100.0 - wx.min(99.0)).max(0.0),
+                y.min(100.0 - wy.min(99.0)).max(0.0),
+            ],
+            vec![(x + wx).min(100.0), (y + wy).min(100.0)],
+        )
+    })
 }
 
 proptest! {
@@ -69,5 +67,106 @@ proptest! {
         // zone-tree climb the path is O(log^2 n) at worst, far below n.
         prop_assert!(s.max_hops as usize <= 4 * 64, "hops {}", s.max_hops);
         prop_assert!(s.bandwidth_bytes > 0);
+    }
+
+    /// Under ≤1% uniform loss with retries enabled, delivery stays ≥99%
+    /// complete and duplicate-free: the backoff chain (5 attempts over
+    /// ~7.75 s) makes residual per-hop failure astronomically unlikely.
+    #[test]
+    fn prop_loss_with_retries_delivers(
+        rects in prop::collection::vec(arb_rect(), 4..16),
+        points in prop::collection::vec((0.0f64..=100.0, 0.0f64..=100.0), 1..6),
+        nodes in 8usize..24,
+        seed in 0u64..500,
+        drop_pct in 1u32..=10, // 0.1%..1.0%
+    ) {
+        let mut net = test_network(nodes, seed, SystemConfig::default().with_retries());
+        let mut fp = FaultPlane::new(seed ^ 0xfa51);
+        fp.set_global_policy(LinkPolicy::loss(drop_pct as f64 / 1000.0));
+        net.install_fault_plane(fp);
+        for (i, r) in rects.iter().enumerate() {
+            net.subscribe(i % nodes, 0, Subscription::new(r.clone()));
+        }
+        net.run_to_quiescence();
+        for (i, &(x, y)) in points.iter().enumerate() {
+            net.publish((i * 7) % nodes, 0, Point(vec![x, y]));
+        }
+        net.run_to_quiescence();
+        let (del, exp, dup) = net.event_stats().iter().fold((0, 0, 0), |a, s| {
+            (a.0 + s.delivered, a.1 + s.expected, a.2 + s.duplicates)
+        });
+        prop_assert!(del * 100 >= exp * 99, "delivered {del}/{exp}");
+        prop_assert_eq!(dup, 0, "retransmissions must never surface as duplicates");
+    }
+
+    /// Fault-injected duplication never surfaces as duplicate deliveries:
+    /// the receiver-side seen-cache (retries on) and the per-event
+    /// delivery dedup cache (retries off) both absorb copies.
+    #[test]
+    fn prop_duplication_never_delivers_twice(
+        rects in prop::collection::vec(arb_rect(), 4..16),
+        points in prop::collection::vec((0.0f64..=100.0, 0.0f64..=100.0), 1..6),
+        nodes in 8usize..24,
+        seed in 0u64..500,
+        dup_prob in 0.05f64..0.3,
+        retries in any::<bool>(),
+    ) {
+        let config = if retries {
+            SystemConfig::default().with_retries()
+        } else {
+            SystemConfig::default()
+        };
+        let mut net = test_network(nodes, seed, config);
+        let mut fp = FaultPlane::new(seed ^ 0xd0b1e);
+        fp.set_global_policy(LinkPolicy::duplication(dup_prob));
+        net.install_fault_plane(fp);
+        for (i, r) in rects.iter().enumerate() {
+            net.subscribe(i % nodes, 0, Subscription::new(r.clone()));
+        }
+        net.run_to_quiescence();
+        for (i, &(x, y)) in points.iter().enumerate() {
+            net.publish((i * 7) % nodes, 0, Point(vec![x, y]));
+        }
+        net.run_to_quiescence();
+        prop_assert!(net.net().duplicated() > 0, "dup policy must have fired");
+        for s in net.event_stats() {
+            prop_assert_eq!(s.delivered, s.expected, "event {}", s.event);
+            prop_assert_eq!(s.duplicates, 0, "event {}", s.event);
+        }
+    }
+
+    /// Identical seeds and fault policies replay to identical statistics:
+    /// the whole stack (simulator, fault plane, retry timers) is
+    /// deterministic.
+    #[test]
+    fn prop_identical_seeds_replay_identically(
+        rects in prop::collection::vec(arb_rect(), 2..10),
+        nodes in 8usize..24,
+        seed in 0u64..500,
+        fault_seed in 0u64..500,
+    ) {
+        let run = || {
+            let mut net = test_network(nodes, seed, SystemConfig::default().with_retries());
+            let mut fp = FaultPlane::new(fault_seed);
+            fp.set_global_policy(
+                LinkPolicy::loss(0.02)
+                    .with_duplication(0.02)
+                    .with_jitter(SimTime::from_millis(5)),
+            );
+            net.install_fault_plane(fp);
+            for (i, r) in rects.iter().enumerate() {
+                net.subscribe(i % nodes, 0, Subscription::new(r.clone()));
+            }
+            net.run_to_quiescence();
+            for p in 0..4usize {
+                net.publish((p * 5) % nodes, 0, Point(vec![(p * 29 % 100) as f64, 50.0]));
+            }
+            net.run_to_quiescence();
+            (net.event_stats(), net.net().clone())
+        };
+        let (stats_a, net_a) = run();
+        let (stats_b, net_b) = run();
+        prop_assert_eq!(stats_a, stats_b);
+        prop_assert_eq!(net_a, net_b);
     }
 }

@@ -1,0 +1,43 @@
+//! Compile-and-run check for the README fault-injection snippet.
+
+use hypersub_core::prelude::*;
+use hypersub_simnet::{FaultPlane, LinkPolicy};
+
+#[test]
+fn readme_fault_snippet_runs() {
+    let scheme = SchemeDef::builder("quotes")
+        .attribute("price", 0.0, 100.0)
+        .attribute("volume", 0.0, 100.0)
+        .build(0);
+    let mut net = Network::build(NetworkParams {
+        nodes: 64,
+        registry: Registry::new(vec![scheme]),
+        config: SystemConfig::default().with_retries(),
+        seed: 7,
+        ..NetworkParams::default()
+    });
+
+    let mut faults = FaultPlane::new(99);
+    faults.set_global_policy(
+        LinkPolicy::loss(0.01)
+            .with_duplication(0.005)
+            .with_jitter(SimTime::from_millis(20)),
+    );
+    faults.add_partition(0..32, net.time(), net.time() + SimTime::from_secs(30));
+    net.install_fault_plane(faults);
+
+    net.subscribe(
+        3,
+        0,
+        Subscription::new(Rect::new(vec![10.0, 0.0], vec![20.0, 100.0])),
+    );
+    net.run_until(net.time() + SimTime::from_secs(31));
+    net.refresh_all_subscriptions();
+    net.run_to_quiescence();
+    net.publish(40, 0, Point(vec![15.0, 42.0]));
+    net.run_to_quiescence();
+
+    let s = &net.event_stats()[0];
+    assert_eq!(s.delivered, s.expected);
+    assert_eq!(s.duplicates, 0);
+}

@@ -59,11 +59,11 @@ fn prefix_and_suffix_subscriptions_deliver_exactly() {
 
     // (host, status, expected matches)
     let cases: &[(&str, f64, usize)] = &[
-        ("api-7", 200.0, 1),   // prefix only
-        ("api.io", 503.0, 2),  // prefix + suffix-with-5xx
-        ("db9", 200.0, 1),     // exact only
-        ("web.io", 200.0, 0),  // suffix matches host but status is 2xx
-        ("web.io", 500.0, 1),  // suffix + 5xx
+        ("api-7", 200.0, 1),  // prefix only
+        ("api.io", 503.0, 2), // prefix + suffix-with-5xx
+        ("db9", 200.0, 1),    // exact only
+        ("web.io", 200.0, 0), // suffix matches host but status is 2xx
+        ("web.io", 500.0, 1), // suffix + 5xx
         ("other", 404.0, 0),
     ];
     for &(host, status, want) in cases {

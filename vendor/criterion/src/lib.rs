@@ -1,0 +1,104 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides `Criterion::bench_function`, `Bencher::iter`, `black_box`
+//! and the `criterion_group!`/`criterion_main!` macros with a simple
+//! warmup-then-measure timing loop and median-of-samples reporting. No
+//! statistical analysis, plots or baselines — enough to run the
+//! workspace's microbenchmarks and print comparable numbers.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Times `f` and prints a one-line report.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        // Warmup: let the closure pick an iteration cadence.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < Duration::from_millis(100) {
+            f(&mut b);
+        }
+        b.iters = 0;
+        b.elapsed = Duration::ZERO;
+        let start = Instant::now();
+        while start.elapsed() < self.measurement {
+            f(&mut b);
+        }
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / (b.iters as u32)
+        };
+        println!("{name:<48} {per_iter:>12.2?}/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Hands the closure an iteration counter.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs one timing batch of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        const BATCH: u64 = 64;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += BATCH;
+    }
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,162 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements deterministic random property testing with the API subset
+//! this workspace uses: the [`strategy::Strategy`] trait with
+//! `prop_map`, range and tuple strategies, string char-class patterns
+//! (`"[a-z]{0,10}"`), `prop::collection::vec`, `any::<T>()`,
+//! [`test_runner::ProptestConfig`], and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from the real crate: no shrinking (a failing case
+//! reports its inputs and the case number instead of a minimized
+//! example), and the RNG is seeded deterministically per test so runs
+//! are reproducible by construction.
+
+pub mod rng;
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy constructors grouped like the real crate's `prop` module.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// Produces the canonical strategy for a type (`any::<bool>()` etc.).
+pub fn any<T: strategy::Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// The glob import every property test starts with.
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Expands `#[test]` functions whose arguments are drawn from
+/// strategies. Each function becomes a standard test running
+/// `config.cases` deterministic random cases; a panic reports the case
+/// number and the generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    // Entry: optional config header.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal: expands the function list. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let seed = $crate::rng::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut rng = $crate::rng::TestRng::new(seed ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $(let $arg = $arg.clone();)+
+                    $body
+                }));
+                if let Err(panic) = result {
+                    eprintln!(
+                        "proptest case {}/{} of {} failed with inputs:",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                    );
+                    $(eprintln!("  {} = {:?}", stringify!($arg), $arg);)+
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property (panics with the message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_tuples(
+            x in 0.0f64..100.0,
+            n in 1usize..10,
+            pair in (0u64..5, 1u8..=3),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((0.0..100.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(pair.0 < 5 && (1..=3).contains(&pair.1));
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_and_map(
+            items in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..8),
+            label in "[a-z]{1,5}",
+        ) {
+            prop_assert!(!items.is_empty() && items.len() < 8);
+            prop_assert!(!label.is_empty() && label.len() <= 5);
+            prop_assert!(label.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let s = (0u64..10).prop_map(|v| v * 2);
+        let mut rng = crate::rng::TestRng::new(1);
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let s = prop::collection::vec(0u64..1000, 0..10);
+        let a: Vec<Vec<u64>> = (0..20)
+            .map(|i| Strategy::generate(&s, &mut crate::rng::TestRng::new(i)))
+            .collect();
+        let b: Vec<Vec<u64>> = (0..20)
+            .map(|i| Strategy::generate(&s, &mut crate::rng::TestRng::new(i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,35 @@
+//! Runner configuration.
+
+/// How `proptest!` runs a property. Only `cases` is consulted; the
+/// other fields exist so configuration written against the real crate
+/// (`ProptestConfig { cases: 12, ..ProptestConfig::default() }`) keeps
+/// compiling.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; generation never fails.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Config with a case count (parity with the real crate).
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}

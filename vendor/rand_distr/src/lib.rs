@@ -1,0 +1,76 @@
+//! Offline stand-in for `rand_distr` 0.4: just [`Distribution`] and the
+//! exponential distribution [`Exp`], which is all this workspace uses
+//! (Poisson-process event arrivals in the workload generator).
+
+use rand::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error from [`Exp::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpError {
+    /// `lambda` was zero, negative or non-finite.
+    LambdaTooSmall,
+}
+
+impl std::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lambda must be positive and finite")
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+/// The exponential distribution `Exp(lambda)`, mean `1/lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp<T> {
+    lambda: T,
+}
+
+impl Exp<f64> {
+    /// Creates the distribution; `lambda` must be positive and finite.
+    pub fn new(lambda: f64) -> Result<Self, ExpError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ExpError::LambdaTooSmall)
+        }
+    }
+}
+
+impl Distribution<f64> for Exp<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse-CDF: -ln(1 - U) / lambda, with U in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        -(-u).ln_1p() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_lambda() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(Exp::new(2.0).is_ok());
+    }
+
+    #[test]
+    fn mean_approximates_inverse_lambda() {
+        let d = Exp::new(0.5).unwrap(); // mean 2.0
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean} far from 2.0");
+    }
+}

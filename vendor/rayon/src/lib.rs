@@ -1,0 +1,100 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The experiment harness only uses `par_iter().map(f).collect()` over
+//! small config lists, so this shim provides exactly that: a
+//! [`prelude::IntoParallelRefIterator`] whose `map(..).collect()`
+//! evaluates with `std::thread::scope`, one thread per item, preserving
+//! input order. Item counts are the number of experiment configs
+//! (single digits to low tens), so thread-per-item is appropriate.
+
+pub mod prelude {
+    /// `.par_iter()` on slices and `Vec`s.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Borrowed item type.
+        type Item: Send + Sync + 'data;
+        /// Begins a parallel pipeline over `&self`.
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+    }
+
+    impl<'data, T: Send + Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'data, T: Send + Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// A borrowed parallel iterator.
+    pub struct ParIter<'data, T> {
+        items: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParIter<'data, T> {
+        /// Maps each item (evaluated on collect).
+        pub fn map<F, O>(self, f: F) -> ParMap<'data, T, F>
+        where
+            F: Fn(&'data T) -> O + Sync,
+            O: Send,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+    }
+
+    /// The mapped pipeline.
+    pub struct ParMap<'data, T, F> {
+        items: &'data [T],
+        f: F,
+    }
+
+    impl<'data, T: Sync, F> ParMap<'data, T, F> {
+        /// Runs the map on scoped threads and collects in input order.
+        pub fn collect<C, O>(self) -> C
+        where
+            F: Fn(&'data T) -> O + Sync,
+            O: Send,
+            C: FromIterator<O>,
+        {
+            let f = &self.f;
+            let mut results: Vec<Option<O>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .items
+                    .iter()
+                    .map(|item| scope.spawn(move || f(item)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| Some(h.join().expect("parallel task panicked")))
+                    .collect()
+            });
+            results.iter_mut().map(|o| o.take().unwrap()).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn maps_in_order() {
+        let v = vec![1u64, 2, 3, 4];
+        let out: Vec<u64> = v.par_iter().map(|x| x * 10).collect();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn works_on_slices() {
+        let v = [5u32, 6];
+        let out: Vec<u32> = v.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![6, 7]);
+    }
+}

@@ -1,0 +1,236 @@
+//! Hot-path perf harness: events/sec and wall time on a pinned workload.
+//!
+//! Runs one fixed, fully seeded publish/subscribe scenario, times the
+//! setup (ring build + subscription install) and the delivery phase
+//! separately, and records the run into `BENCH_hotpath.json` keyed by
+//! `--label`. The file accumulates one entry per label, so the repo can
+//! commit a `baseline` entry and an `after` entry from the same PR and
+//! every future PR appends its own label to extend the trajectory.
+//!
+//! The run digest (delivery trace + network counters, see
+//! `hypersub_core::digest`) is recorded alongside the timings: two
+//! entries measuring the same workload MUST agree on the digest, which
+//! proves an optimization changed only speed, never behavior.
+//!
+//! Usage: `hotpath [--quick] [--label NAME] [--out PATH]`.
+
+use hypersub_core::config::SystemConfig;
+use hypersub_core::digest;
+use hypersub_core::model::Registry;
+use hypersub_core::sim::{Network, NetworkParams, TopologyKind};
+use hypersub_simnet::SimTime;
+use hypersub_workload::{WorkloadGen, WorkloadSpec};
+use std::time::Instant;
+
+/// The pinned workload: network size, events, subscriptions and seed are
+/// all fixed so events/sec is comparable across PRs.
+struct Pinned {
+    nodes: usize,
+    subs_per_node: usize,
+    events: usize,
+    seed: u64,
+}
+
+impl Pinned {
+    fn full() -> Self {
+        Self {
+            nodes: 1024,
+            subs_per_node: 5,
+            events: 3000,
+            seed: 0xbe9c_2007,
+        }
+    }
+
+    fn quick() -> Self {
+        Self {
+            nodes: 192,
+            subs_per_node: 4,
+            events: 600,
+            seed: 0xbe9c_2007,
+        }
+    }
+}
+
+struct RunOutcome {
+    setup_ms: f64,
+    publish_ms: f64,
+    sim_events: u64,
+    msgs: u64,
+    digest: u64,
+    grid_registrations: u64,
+    grid_entries: u64,
+}
+
+fn run_pinned(p: &Pinned) -> RunOutcome {
+    let spec = WorkloadSpec::paper_table1();
+    let registry = Registry::new(vec![spec.scheme_def(0)]);
+    let setup_start = Instant::now();
+    let mut net = Network::build(NetworkParams {
+        nodes: p.nodes,
+        registry,
+        config: SystemConfig::default(),
+        topology: TopologyKind::KingLike(SimTime::from_millis(180)),
+        seed: p.seed,
+        ..NetworkParams::default()
+    });
+    let mut gen = WorkloadGen::new(spec, p.seed ^ 0xabcd);
+    for node in 0..p.nodes {
+        for _ in 0..p.subs_per_node {
+            net.subscribe(node, 0, gen.subscription());
+        }
+    }
+    net.run_to_quiescence();
+    let setup_ms = setup_start.elapsed().as_secs_f64() * 1e3;
+
+    let mut t = net.time() + SimTime::from_secs(1);
+    for _ in 0..p.events {
+        let node = gen.random_node(p.nodes);
+        net.schedule_publish(t, node, 0, gen.event_point());
+        t += gen.interarrival();
+    }
+    let steps_before = net.sim().steps();
+    let publish_start = Instant::now();
+    net.run_to_quiescence();
+    let publish_ms = publish_start.elapsed().as_secs_f64() * 1e3;
+    let sim_events = net.sim().steps() - steps_before;
+
+    let (regs, entries) = net.sim().nodes().iter().fold((0u64, 0u64), |(r, e), n| {
+        let (nr, ne) = n.index_stats();
+        (r + nr, e + ne)
+    });
+    RunOutcome {
+        setup_ms,
+        publish_ms,
+        sim_events,
+        msgs: net.net().total_msgs(),
+        digest: digest::run_digest(net.sim().world().metrics.deliveries(), net.net()),
+        grid_registrations: regs,
+        grid_entries: entries,
+    }
+}
+
+/// One run entry, serialized as a single JSON line so the merge logic
+/// below can treat the file line-by-line without a JSON parser.
+fn entry_json(label: &str, mode: &str, p: &Pinned, o: &RunOutcome) -> String {
+    let events_per_sec = o.sim_events as f64 / (o.publish_ms / 1e3);
+    let dup = if o.grid_entries == 0 {
+        0.0
+    } else {
+        o.grid_registrations as f64 / o.grid_entries as f64
+    };
+    format!(
+        "    {{ \"label\": \"{label}\", \"mode\": \"{mode}\", \"nodes\": {}, \"subs_per_node\": {}, \
+         \"published_events\": {}, \"seed\": {}, \"setup_ms\": {:.1}, \"publish_ms\": {:.1}, \
+         \"sim_events\": {}, \"events_per_sec\": {:.0}, \"total_msgs\": {}, \
+         \"grid_registrations\": {}, \"grid_indexed_entries\": {}, \"grid_duplication_factor\": {:.2}, \
+         \"digest\": \"{:#018x}\" }}",
+        p.nodes,
+        p.subs_per_node,
+        p.events,
+        p.seed,
+        o.setup_ms,
+        o.publish_ms,
+        o.sim_events,
+        events_per_sec,
+        o.msgs,
+        o.grid_registrations,
+        o.grid_entries,
+        dup,
+        o.digest,
+    )
+}
+
+/// Pulls `"field": <number>` out of a single-line run entry.
+fn extract_num(line: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\": ");
+    let start = line.find(&key)? + key.len();
+    let rest = &line[start..];
+    let end = rest.find([',', ' ', '}']).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn extract_str<'a>(line: &'a str, field: &str) -> Option<&'a str> {
+    let key = format!("\"{field}\": \"");
+    let start = line.find(&key)? + key.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let label = flag("--label").unwrap_or_else(|| "run".to_string());
+    let out = flag("--out").unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let mode = if quick { "quick" } else { "full" };
+    let p = if quick {
+        Pinned::quick()
+    } else {
+        Pinned::full()
+    };
+
+    eprintln!(
+        "hotpath [{mode}]: {} nodes, {} subs/node, {} events, seed {:#x}",
+        p.nodes, p.subs_per_node, p.events, p.seed
+    );
+    let o = run_pinned(&p);
+    let line = entry_json(&label, mode, &p, &o);
+    eprintln!(
+        "hotpath [{mode}] {label}: setup {:.1} ms, publish {:.1} ms, {} sim events \
+         ({:.0} events/sec), digest {:#018x}",
+        o.setup_ms,
+        o.publish_ms,
+        o.sim_events,
+        o.sim_events as f64 / (o.publish_ms / 1e3),
+        o.digest
+    );
+
+    // Merge with prior entries of other labels *in the same mode*; a rerun
+    // of an existing (label, mode) replaces it.
+    let mut runs: Vec<String> = std::fs::read_to_string(&out)
+        .map(|old| {
+            old.lines()
+                .filter(|l| l.trim_start().starts_with("{ \"label\""))
+                .filter(|l| {
+                    extract_str(l, "label") != Some(&label) || extract_str(l, "mode") != Some(mode)
+                })
+                .map(|l| l.trim_end().trim_end_matches(',').to_string())
+                .collect()
+        })
+        .unwrap_or_default();
+    runs.push(line);
+
+    let find = |label: &str| {
+        runs.iter().find(|l| {
+            extract_str(l, "label") == Some(label) && extract_str(l, "mode") == Some("full")
+        })
+    };
+    let speedup = match (find("baseline"), find("after")) {
+        (Some(b), Some(a)) => {
+            let (Some(bv), Some(av)) = (
+                extract_num(b, "events_per_sec"),
+                extract_num(a, "events_per_sec"),
+            ) else {
+                unreachable!("entries always carry events_per_sec")
+            };
+            let digests_match = extract_str(b, "digest") == extract_str(a, "digest");
+            format!(
+                "{:.2}, \"digests_match\": {digests_match}",
+                av / bv.max(1e-9)
+            )
+        }
+        _ => "null".to_string(),
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"hotpath\",\n  \"runs\": [\n{}\n  ],\n  \"speedup_after_vs_baseline\": {}\n}}\n",
+        runs.join(",\n"),
+        speedup
+    );
+    std::fs::write(&out, json).expect("write bench output");
+    println!("wrote {out}");
+}

@@ -60,6 +60,7 @@
 
 pub mod config;
 pub mod delivery;
+pub mod digest;
 pub mod index;
 pub mod install;
 pub mod loadbal;

@@ -178,6 +178,16 @@ impl HyperSubNode {
         (repo_entries + hosted) as u64
     }
 
+    /// Grid-index diagnostics summed over this node's zone repositories:
+    /// `(cell registrations, indexed entries)` — see
+    /// [`crate::repo::ZoneRepo::index_stats`].
+    pub fn index_stats(&self) -> (u64, u64) {
+        self.repos.values().fold((0, 0), |(r, e), repo| {
+            let (nr, ne) = repo.index_stats();
+            (r + nr, e + ne)
+        })
+    }
+
     /// The subscription ids of this node's local subscriptions.
     pub fn local_sub_ids(&self) -> Vec<SubId> {
         let mut v: Vec<SubId> = self

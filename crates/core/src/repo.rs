@@ -160,6 +160,16 @@ impl ZoneRepo {
     pub fn real_count(&self) -> usize {
         self.entries.values().filter(|s| s.is_real()).count()
     }
+
+    /// Grid-index diagnostics: `(cell registrations, indexed entries)`,
+    /// both zero when no index is built. Registrations / entries is the
+    /// duplication factor (how many cells the average entry spans).
+    pub fn index_stats(&self) -> (u64, u64) {
+        match &self.index {
+            Some(g) => (g.registrations() as u64, self.entries.len() as u64),
+            None => (0, 0),
+        }
+    }
 }
 
 /// Subscriptions accepted from an overloaded node during migration (§4).

@@ -1,11 +1,22 @@
 #!/bin/bash
 # Regenerates every table and figure of the paper at full scale.
+# Exits nonzero (with a FAILED summary block) if any binary fails.
 set -u
 cd /root/repo
 BIN=target/release
+FAILED=()
 for b in table1 table2 fig2 fig4 fig3 baseline_compare ablation_subscheme ablation_rotation ablation_base fig5; do
   echo "=== $b start $(date +%T) ==="
-  { time $BIN/$b > results/$b.txt ; } 2> results/$b.time || echo "$b FAILED"
+  if ! { time $BIN/$b > results/$b.txt ; } 2> results/$b.time ; then
+    echo "$b FAILED (see results/$b.time)"
+    FAILED+=("$b")
+  fi
   echo "=== $b done $(date +%T) ==="
 done
+if [ ${#FAILED[@]} -gt 0 ]; then
+  echo "=== FAILED ==="
+  printf '%s\n' "${FAILED[@]}"
+  echo "${#FAILED[@]} of 10 binaries failed"
+  exit 1
+fi
 echo ALL_DONE

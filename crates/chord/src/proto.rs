@@ -12,8 +12,7 @@
 use crate::id::{in_open_closed, NodeId};
 use crate::routing::{closest_preceding, next_hop, NextHop};
 use crate::state::{ChordState, Peer, NUM_FINGERS};
-use hypersub_simnet::{Ctx, Node, Payload, SimTime};
-use std::collections::HashSet;
+use hypersub_simnet::{Ctx, FxHashSet, Node, Payload, SimTime};
 
 /// Why a lookup was issued; determines what happens with the answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,7 +121,7 @@ pub struct MaintState {
     /// Peers this node has itself observed dead. Gossip (successor lists
     /// from neighbors) is filtered against this set — otherwise evicted
     /// nodes leak straight back in and the ring never heals.
-    dead: HashSet<usize>,
+    dead: FxHashSet<usize>,
 }
 
 impl MaintState {
@@ -135,7 +134,7 @@ impl MaintState {
             awaiting_pred: None,
             next_finger: 0,
             bootstrap: None,
-            dead: HashSet::new(),
+            dead: FxHashSet::default(),
         }
     }
 

@@ -7,7 +7,7 @@
 //! rule implemented here: deliver locally if responsible, otherwise forward
 //! to the closest preceding routing-table entry.
 
-use crate::id::{in_open_closed, in_open_open, NodeId};
+use crate::id::{in_open_closed, NodeId};
 use crate::state::{ChordState, Peer};
 
 /// Routing decision for a key at some node.
@@ -23,27 +23,26 @@ pub enum NextHop {
 /// successors) whose id most immediately precedes `key`, strictly within
 /// `(state.id, key)`.
 pub fn closest_preceding(state: &ChordState, key: NodeId) -> Option<Peer> {
+    // One distance computation per entry. `p.id ∈ (id, key)` is exactly
+    // `0 < d < dk` (with `(id, id)` the full ring minus `id`, i.e. any
+    // `d ≠ 0` when `dk == 0`), and "closer to key" is "larger d" — so
+    // tracking the running max distance reproduces the in_open_open +
+    // pairwise-compare scan verbatim, including first-wins ties.
+    let dk = crate::id::clockwise_distance(state.id, key);
     let mut best: Option<Peer> = None;
-    let consider = |best: &mut Option<Peer>, p: Peer| {
-        if in_open_open(state.id, p.id, key) {
-            match best {
-                None => *best = Some(p),
-                Some(b) => {
-                    // Closer to key == larger clockwise distance from me.
-                    if crate::id::clockwise_distance(state.id, p.id)
-                        > crate::id::clockwise_distance(state.id, b.id)
-                    {
-                        *best = Some(p);
-                    }
-                }
-            }
+    let mut best_d = 0u64;
+    let mut consider = |p: Peer| {
+        let d = crate::id::clockwise_distance(state.id, p.id);
+        if d > best_d && (d < dk || dk == 0) {
+            best_d = d;
+            best = Some(p);
         }
     };
     for f in state.fingers.iter().flatten() {
-        consider(&mut best, *f);
+        consider(*f);
     }
     for s in &state.successors {
-        consider(&mut best, *s);
+        consider(*s);
     }
     best
 }

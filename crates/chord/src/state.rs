@@ -94,8 +94,20 @@ impl ChordState {
         if self.successors.contains(&peer) {
             return;
         }
-        self.successors.push(peer);
         let me = self.id;
+        // Full list and `peer` no closer than the current tail: the
+        // push/sort/truncate below would drop it again, so skip the work
+        // (distances from `me` are unique per id, making this exact).
+        if self.successors.len() >= self.succ_list_len {
+            if let Some(last) = self.successors.last() {
+                if crate::id::clockwise_distance(me, peer.id)
+                    >= crate::id::clockwise_distance(me, last.id)
+                {
+                    return;
+                }
+            }
+        }
+        self.successors.push(peer);
         self.successors
             .sort_by_key(|p| crate::id::clockwise_distance(me, p.id));
         self.successors.truncate(self.succ_list_len);

@@ -20,8 +20,27 @@ use crate::msg::{DeliveryMsg, HyperMsg};
 use crate::node::{HyperSubNode, IidTarget};
 use crate::world::HyperWorld;
 use hypersub_chord::routing::{next_hop, NextHop};
-use hypersub_simnet::Ctx;
-use std::collections::{BTreeMap, HashSet};
+use hypersub_simnet::{Ctx, FxHashSet};
+use std::sync::Arc;
+
+/// Cap on pooled per-hop target buffers kept by a node between messages.
+const TARGET_POOL_CAP: usize = 8;
+
+/// Per-node reusable scratch for Algorithm 5. `handle_delivery` used to
+/// allocate a fresh `HashSet` and `BTreeMap` per message; these buffers
+/// persist across messages instead (cleared, capacity retained), making
+/// the steady-state hot path allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct DeliveryScratch {
+    /// Dedup of SubID-list entries merged during phase 1. Membership-only
+    /// (never iterated), so the fixed-seed fast hasher is safe.
+    seen: FxHashSet<SubTarget>,
+    /// Targets grouped by next-hop neighbor index; a linear scan over the
+    /// handful of distinct DHT links replaces the `BTreeMap`.
+    groups: Vec<(usize, Vec<SubTarget>)>,
+    /// Recycled target buffers for `groups` entries.
+    pool: Vec<Vec<SubTarget>>,
+}
 
 impl HyperSubNode {
     /// Algorithm 4: publish an event from this node. The event id must be
@@ -32,14 +51,36 @@ impl HyperSubNode {
         scheme_id: SchemeId,
         event: Event,
     ) {
-        let expected = ctx
-            .world
-            .oracle
-            .expected_matches(scheme_id, &event.point)
-            .len();
+        self.publish_impl(ctx, scheme_id, event, true);
+    }
+
+    /// Reference implementation of Algorithm 4 for differential testing:
+    /// every subscheme copy gets its own deep-cloned event body instead of
+    /// sharing one `Arc` allocation. A run driven through this path must
+    /// be observationally identical to one driven through
+    /// [`Self::publish_event`] — the property tests assert their run
+    /// digests match.
+    pub fn publish_event_owned(
+        &mut self,
+        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        scheme_id: SchemeId,
+        event: Event,
+    ) {
+        self.publish_impl(ctx, scheme_id, event, false);
+    }
+
+    fn publish_impl(
+        &mut self,
+        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        scheme_id: SchemeId,
+        event: Event,
+        share: bool,
+    ) {
+        let expected = ctx.world.oracle.expected_count(scheme_id, &event.point);
         ctx.world
             .metrics
             .record_publish(event.id, ctx.now, ctx.me, expected);
+        let event = Arc::new(event);
         let scheme = self.registry.scheme(scheme_id);
         let n_subschemes = scheme.subschemes.len() as u8;
         for ss in 0..n_subschemes {
@@ -51,7 +92,11 @@ impl HyperSubNode {
             let msg = DeliveryMsg {
                 scheme: scheme_id,
                 ss,
-                event: event.clone(),
+                event: if share {
+                    Arc::clone(&event)
+                } else {
+                    Arc::new((*event).clone())
+                },
                 hops: 0,
                 sender: None,
                 targets: vec![target],
@@ -72,47 +117,72 @@ impl HyperSubNode {
             self.maint.observe_peer(sender);
         }
         let scheme = self.registry.scheme(msg.scheme);
-        let proj = scheme.project_point(msg.ss, &msg.event.point);
+        let proj_owned;
+        let proj = if scheme.projection_is_identity(msg.ss, msg.event.point.0.len()) {
+            &msg.event.point
+        } else {
+            proj_owned = scheme.project_point(msg.ss, &msg.event.point);
+            &proj_owned
+        };
 
         // Phase 1: consume targets we are responsible for; matching may
-        // produce new targets (the merged matched SubID list).
+        // produce new targets (the merged matched SubID list). The working
+        // queue reuses the incoming message's target buffer; the seen-set
+        // and hop groups are per-node scratch (taken out of `self` so
+        // `consume_target` can borrow `self` mutably alongside them).
         let mut queue: Vec<SubTarget> = std::mem::take(&mut msg.targets);
-        let mut seen: HashSet<SubTarget> = queue.iter().copied().collect();
-        // Grouping by next-hop neighbor; BTreeMap for deterministic send
-        // order.
-        let mut by_hop: BTreeMap<usize, Vec<SubTarget>> = BTreeMap::new();
+        let mut seen = std::mem::take(&mut self.scratch.seen);
+        let mut groups = std::mem::take(&mut self.scratch.groups);
+        let mut pool = std::mem::take(&mut self.scratch.pool);
+        debug_assert!(seen.is_empty() && groups.is_empty());
+        seen.extend(queue.iter().copied());
         while let Some(t) = queue.pop() {
-            if !self.maint.chord.responsible_for(t.nid) {
-                match next_hop(&self.maint.chord, t.nid) {
-                    NextHop::Forward(p) => by_hop.entry(p.idx).or_default().push(t),
-                    // Degenerate ring: treat as local after all.
-                    NextHop::Local => {
-                        self.consume_target(ctx, &msg, &proj, t, &mut queue, &mut seen)
+            // `next_hop` already starts with the responsibility check, so
+            // a single call decides consume-vs-forward (`Local` also
+            // covers the degenerate no-routing-state ring).
+            match next_hop(&self.maint.chord, t.nid) {
+                NextHop::Forward(p) => match groups.iter_mut().find(|(idx, _)| *idx == p.idx) {
+                    Some((_, v)) => v.push(t),
+                    None => {
+                        let mut v = pool.pop().unwrap_or_default();
+                        v.push(t);
+                        groups.push((p.idx, v));
                     }
-                }
-            } else {
-                self.consume_target(ctx, &msg, &proj, t, &mut queue, &mut seen);
+                },
+                NextHop::Local => self.consume_target(ctx, &msg, proj, t, &mut queue, &mut seen),
             }
         }
 
-        // Phase 2: forward one aggregated message per DHT link. Reliable
-        // when retries are on: a lost hop loses every subscriber behind
-        // it, and re-processing a retransmitted copy is idempotent (all
-        // delivery effects are guarded by the dedup cache).
-        for (idx, targets) in by_hop {
+        // Phase 2: forward one aggregated message per DHT link, in
+        // ascending neighbor order — the deterministic send order the
+        // previous BTreeMap-based implementation produced (neighbor
+        // indices are unique keys, so unstable sort is exact).
+        groups.sort_unstable_by_key(|&(idx, _)| idx);
+        for (idx, targets) in groups.drain(..) {
             self.send_reliable(
                 ctx,
                 idx,
                 HyperMsg::Delivery(DeliveryMsg {
                     scheme: msg.scheme,
                     ss: msg.ss,
-                    event: msg.event.clone(),
+                    event: Arc::clone(&msg.event),
                     hops: msg.hops + 1,
                     sender: Some(self.maint.chord.me()),
                     targets,
                 }),
             );
         }
+
+        // Hand the buffers back for the next message; the drained working
+        // queue refills the target pool.
+        seen.clear();
+        if pool.len() < TARGET_POOL_CAP {
+            queue.clear();
+            pool.push(queue);
+        }
+        self.scratch.seen = seen;
+        self.scratch.groups = groups;
+        self.scratch.pool = pool;
     }
 
     /// Consumes one SubID-list entry this node is responsible for.
@@ -123,7 +193,7 @@ impl HyperSubNode {
         proj: &hypersub_lph::Point,
         t: SubTarget,
         queue: &mut Vec<SubTarget>,
-        seen: &mut HashSet<SubTarget>,
+        seen: &mut FxHashSet<SubTarget>,
     ) {
         let mut merge = |matched: Vec<SubId>, queue: &mut Vec<SubTarget>| {
             for sid in matched {

@@ -3,10 +3,10 @@
 //! §3.3: "There may be indexing structures maintained on the surrogate
 //! node to facilitate local event matching; however, this is not the
 //! focus of this paper." This module supplies one: a uniform grid over
-//! the first dimension of the stored (projected) rects. Each entry is
-//! registered in every cell its interval overlaps; a point query scans
-//! only the point's cell and then verifies candidates exactly, so the
-//! index can only prune, never change results.
+//! the first one or two dimensions of the stored (projected) rects. Each
+//! entry is registered in every cell its interval(s) overlap; a point
+//! query scans only the point's cell and then verifies candidates
+//! exactly, so the index can only prune, never change results.
 //!
 //! Repositories switch to the grid once they exceed
 //! [`GridIndex::THRESHOLD`] entries (hot zones under skewed workloads
@@ -14,58 +14,126 @@
 //! structure.
 
 use crate::model::SubId;
-use hypersub_lph::Rect;
+use hypersub_lph::{Point, Rect};
 
-/// A one-dimensional uniform grid over entry intervals on dimension 0.
+/// A uniform grid over entry intervals on the leading dimension(s): two
+/// axes when the stored rects have ≥ 2 dimensions, one otherwise. An
+/// axis whose entries all coincide collapses to a single cell.
 #[derive(Debug, Clone)]
 pub struct GridIndex {
-    lo: f64,
-    width: f64,
+    lo: [f64; 2],
+    width: [f64; 2],
+    /// Cells per axis (1 for collapsed/inactive axes).
+    n: [usize; 2],
+    /// How many leading point dimensions index lookups consume.
+    dims: usize,
     cells: Vec<Vec<SubId>>,
 }
 
 impl GridIndex {
     /// Entry count at which a repository builds a grid.
     pub const THRESHOLD: usize = 64;
-    /// Number of grid cells.
+    /// Number of cells on an active axis in the 1-D case.
     pub const CELLS: usize = 64;
+    /// Number of cells per active axis in the 2-D case (16² = 256 cells,
+    /// comparable total registration cost to the 1-D layout but with
+    /// candidate lists pruned on both axes).
+    pub const AXIS_CELLS_2D: usize = 16;
 
-    /// Builds a grid from `(id, rect)` pairs. Returns `None` when the
-    /// entries span a degenerate range (all identical on dim 0) — the
-    /// grid would not prune anything.
+    /// Builds a grid from `(id, rect)` pairs. Returns `None` when every
+    /// indexable axis spans a degenerate range (the grid would not prune
+    /// anything).
     pub fn build<'a, I>(entries: I) -> Option<GridIndex>
     where
         I: Iterator<Item = (&'a SubId, &'a Rect)> + Clone,
     {
-        let mut lo = f64::INFINITY;
-        let mut hi = f64::NEG_INFINITY;
+        let mut dims = usize::MAX;
+        let mut lo = [f64::INFINITY; 2];
+        let mut hi = [f64::NEG_INFINITY; 2];
         for (_, r) in entries.clone() {
-            lo = lo.min(r.lo[0]);
-            hi = hi.max(r.hi[0]);
+            dims = dims.min(r.lo.len()).min(2);
+            for d in 0..dims {
+                lo[d] = lo[d].min(r.lo[d]);
+                hi[d] = hi[d].max(r.hi[d]);
+            }
         }
-        if !lo.is_finite() || !hi.is_finite() || hi <= lo {
+        if dims == usize::MAX || dims == 0 {
             return None;
         }
-        let width = (hi - lo) / Self::CELLS as f64;
-        let mut cells: Vec<Vec<SubId>> = vec![Vec::new(); Self::CELLS];
+        let per_axis = if dims == 2 {
+            Self::AXIS_CELLS_2D
+        } else {
+            Self::CELLS
+        };
+        let mut width = [1.0; 2];
+        let mut n = [1usize; 2];
+        let mut active = false;
+        for d in 0..dims {
+            if lo[d].is_finite() && hi[d].is_finite() && hi[d] > lo[d] {
+                width[d] = (hi[d] - lo[d]) / per_axis as f64;
+                n[d] = per_axis;
+                active = true;
+            } else {
+                lo[d] = if lo[d].is_finite() { lo[d] } else { 0.0 };
+            }
+        }
+        if !active {
+            return None;
+        }
+        let mut grid = GridIndex {
+            lo,
+            width,
+            n,
+            dims,
+            cells: vec![Vec::new(); n[0] * n[1]],
+        };
         for (&id, r) in entries {
-            let first = (((r.lo[0] - lo) / width) as usize).min(Self::CELLS - 1);
-            let last = (((r.hi[0] - lo) / width) as usize).min(Self::CELLS - 1);
-            for cell in cells.iter_mut().take(last + 1).skip(first) {
+            grid.register(id, r);
+        }
+        Some(grid)
+    }
+
+    /// The clamped cell range an interval covers on axis `d`. Negative
+    /// offsets saturate to 0 under `as usize`, clamping below; `min`
+    /// clamps above — exactly where queries clamp, so the candidate set
+    /// stays a superset of the true matches.
+    fn span(&self, d: usize, lo: f64, hi: f64) -> (usize, usize) {
+        let first = (((lo - self.lo[d]) / self.width[d]) as usize).min(self.n[d] - 1);
+        let last = (((hi - self.lo[d]) / self.width[d]) as usize).min(self.n[d] - 1);
+        (first, last)
+    }
+
+    /// Registers one more entry into the cells its leading interval(s)
+    /// cover, keeping the bounds fixed at build time. This is what makes
+    /// the index incremental: inserts extend it in place instead of
+    /// discarding it.
+    pub fn register(&mut self, id: SubId, r: &Rect) {
+        let (x0, x1) = self.span(0, r.lo[0], r.hi[0]);
+        let (y0, y1) = if self.dims == 2 {
+            self.span(1, r.lo[1], r.hi[1])
+        } else {
+            (0, 0)
+        };
+        for x in x0..=x1 {
+            for cell in self
+                .cells
+                .iter_mut()
+                .skip(x * self.n[1] + y0)
+                .take(y1 - y0 + 1)
+            {
                 cell.push(id);
             }
         }
-        Some(GridIndex { lo, width, cells })
     }
 
-    /// Candidate entries whose dim-0 interval may contain `x`. Exact
-    /// verification is the caller's job.
-    pub fn candidates(&self, x: f64) -> &[SubId] {
-        if x < self.lo {
-            return &self.cells[0];
-        }
-        let cell = (((x - self.lo) / self.width) as usize).min(Self::CELLS - 1);
-        &self.cells[cell]
+    /// Candidate entries whose leading interval(s) may contain `p`. Exact
+    /// verification is the caller's job. A point query reads exactly one
+    /// cell, so an entry spanning several cells never repeats here.
+    pub fn candidates(&self, p: &Point) -> &[SubId] {
+        let c = |x: f64, d: usize| (((x - self.lo[d]) / self.width[d]) as usize).min(self.n[d] - 1);
+        let x = c(p.0[0], 0);
+        let y = if self.dims == 2 { c(p.0[1], 1) } else { 0 };
+        &self.cells[x * self.n[1] + y]
     }
 
     /// Total candidate registrations (diagnostics: duplication factor).
@@ -86,6 +154,10 @@ mod tests {
         Rect::new(vec![lo, 0.0], vec![hi, 100.0])
     }
 
+    fn probe(x: f64) -> Point {
+        Point(vec![x, 50.0])
+    }
+
     #[test]
     fn candidates_superset_of_matches() {
         let entries: Vec<(SubId, Rect)> = (0..200)
@@ -96,7 +168,7 @@ mod tests {
             .collect();
         let grid = GridIndex::build(entries.iter().map(|(a, b)| (a, b))).expect("non-degenerate");
         for x in [0.0, 13.37, 50.0, 89.9, 95.0] {
-            let cands = grid.candidates(x);
+            let cands = grid.candidates(&probe(x));
             for (id, r) in &entries {
                 if r.lo[0] <= x && x <= r.hi[0] {
                     assert!(
@@ -109,9 +181,68 @@ mod tests {
     }
 
     #[test]
+    fn candidates_prune_on_second_axis() {
+        // Entries split into two bands on dim 1; a query in one band must
+        // not scan the other.
+        let mut entries = Vec::new();
+        for i in 0..100 {
+            entries.push((sid(i), Rect::new(vec![0.0, 0.0], vec![100.0, 10.0])));
+            entries.push((
+                sid(1000 + i),
+                Rect::new(vec![0.0, 90.0], vec![100.0, 100.0]),
+            ));
+        }
+        let grid = GridIndex::build(entries.iter().map(|(a, b)| (a, b))).unwrap();
+        assert_eq!(grid.candidates(&Point(vec![50.0, 5.0])).len(), 100);
+        assert_eq!(grid.candidates(&Point(vec![50.0, 95.0])).len(), 100);
+    }
+
+    #[test]
+    fn register_extends_grid_without_rebuild() {
+        let entries: Vec<(SubId, Rect)> = (0..100)
+            .map(|i| {
+                let lo = (i as f64 * 3.1) % 80.0;
+                (sid(i), rect1(lo, lo + 4.0))
+            })
+            .collect();
+        let mut grid =
+            GridIndex::build(entries.iter().map(|(a, b)| (a, b))).expect("non-degenerate");
+        // Inside, straddling-below, and fully-above the built range.
+        let extra = [
+            (sid(500), rect1(40.0, 45.0)),
+            (sid(501), rect1(-10.0, 2.0)),
+            (sid(502), rect1(200.0, 300.0)),
+        ];
+        for (id, r) in &extra {
+            grid.register(*id, r);
+        }
+        for x in [-5.0, 0.5, 41.0, 83.9, 250.0] {
+            let cands = grid.candidates(&probe(x));
+            for (id, r) in entries.iter().chain(&extra) {
+                if r.lo[0] <= x && x <= r.hi[0] {
+                    assert!(cands.contains(id), "entry {id:?} matching x={x} missing");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn degenerate_range_yields_no_grid() {
-        let entries = [(sid(1), rect1(5.0, 5.0)), (sid(2), rect1(5.0, 5.0))];
+        // Every axis collapses to a single value: nothing to prune on.
+        let point_rect = Rect::new(vec![5.0, 7.0], vec![5.0, 7.0]);
+        let entries = [(sid(1), point_rect.clone()), (sid(2), point_rect)];
         assert!(GridIndex::build(entries.iter().map(|(a, b)| (a, b))).is_none());
+    }
+
+    #[test]
+    fn degenerate_first_axis_still_prunes_on_second() {
+        let entries = [
+            (sid(1), Rect::new(vec![5.0, 0.0], vec![5.0, 10.0])),
+            (sid(2), Rect::new(vec![5.0, 90.0], vec![5.0, 100.0])),
+        ];
+        let grid = GridIndex::build(entries.iter().map(|(a, b)| (a, b))).unwrap();
+        assert_eq!(grid.candidates(&Point(vec![5.0, 5.0])), &[sid(1)]);
+        assert_eq!(grid.candidates(&Point(vec![5.0, 95.0])), &[sid(2)]);
     }
 
     #[test]
@@ -123,7 +254,7 @@ mod tests {
             entries.push((sid(1000 + i), rect1(99.0, 100.0)));
         }
         let grid = GridIndex::build(entries.iter().map(|(a, b)| (a, b))).unwrap();
-        let cands = grid.candidates(0.5);
+        let cands = grid.candidates(&probe(0.5));
         assert_eq!(cands.len(), 100, "only the near cluster is scanned");
     }
 
@@ -132,7 +263,7 @@ mod tests {
         let entries = [(sid(1), rect1(10.0, 20.0)), (sid(2), rect1(30.0, 40.0))];
         let grid = GridIndex::build(entries.iter().map(|(a, b)| (a, b))).unwrap();
         // Clamped queries return a (possibly empty) cell, never panic.
-        let _ = grid.candidates(-5.0);
-        let _ = grid.candidates(500.0);
+        let _ = grid.candidates(&probe(-5.0));
+        let _ = grid.candidates(&probe(500.0));
     }
 }

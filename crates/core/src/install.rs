@@ -118,11 +118,15 @@ impl HyperSubNode {
     /// the paper defers churn handling to the underlying DHT plus
     /// re-registration).
     pub fn refresh_subscriptions(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>) {
-        let subs: Vec<(u32, SchemeId, Subscription)> = self
+        // Sorted by internal id: the registration messages this emits must
+        // not depend on HashMap iteration order, or same-seed runs with
+        // refresh would diverge.
+        let mut subs: Vec<(u32, SchemeId, Subscription)> = self
             .local_subs
             .iter()
             .map(|(&iid, (scheme, sub))| (iid, *scheme, sub.clone()))
             .collect();
+        subs.sort_unstable_by_key(|&(iid, _, _)| iid);
         for (iid, scheme_id, sub) in subs {
             self.install(ctx, scheme_id, sub, iid);
         }
@@ -134,7 +138,10 @@ impl HyperSubNode {
     /// successors, and surrogate chains through those zones must be
     /// re-established there.
     pub fn rebuild_chains(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>) {
-        let keys: Vec<RepoKey> = self.repos.keys().copied().collect();
+        // Sorted for the same reason as `refresh_subscriptions`: push-down
+        // message order must be a function of state, not of hashing.
+        let mut keys: Vec<RepoKey> = self.repos.keys().copied().collect();
+        keys.sort_unstable();
         for k in &keys {
             if let Some(repo) = self.repos.get_mut(k) {
                 repo.pushed.clear();

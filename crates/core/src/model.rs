@@ -161,6 +161,16 @@ impl SchemeDef {
         Point(def.attrs.iter().map(|&a| p.0[a]).collect())
     }
 
+    /// True when subscheme `ss` maps a `dims`-dimensional point to
+    /// itself, i.e. [`Self::project_point`] would return a plain copy.
+    /// The delivery path uses this to borrow the event point instead of
+    /// allocating the projection on every message receive (the common
+    /// single-subscheme case).
+    pub fn projection_is_identity(&self, ss: SubschemeId, dims: usize) -> bool {
+        let attrs = &self.subschemes[ss as usize].attrs;
+        attrs.len() == dims && attrs.iter().enumerate().all(|(i, &a)| a == i)
+    }
+
     /// Projects a full-space rect onto subscheme `ss`.
     pub fn project_rect(&self, ss: SubschemeId, r: &Rect) -> Rect {
         let def = &self.subschemes[ss as usize];

@@ -13,6 +13,7 @@ use hypersub_chord::proto::ChordMsg;
 use hypersub_chord::Peer;
 use hypersub_lph::{Rect, ZoneCode};
 use hypersub_simnet::Payload;
+use std::sync::Arc;
 
 /// 20-byte packet header (paper's model).
 pub const HEADER_BYTES: usize = 20;
@@ -97,8 +98,13 @@ pub struct DeliveryMsg {
     pub scheme: SchemeId,
     /// Which subscheme's rendezvous chain this copy serves.
     pub ss: SubschemeId,
-    /// The event itself.
-    pub event: Event,
+    /// The event itself. Shared via `Arc`: one event fans out into one
+    /// message per subscheme and then one per DHT hop, and every copy
+    /// carries the identical immutable body — cloning the pointer instead
+    /// of the `Vec<f64>` point makes forwarding allocation-free. The wire
+    /// size model is unaffected (the modeled 100-byte body rides every
+    /// copy).
+    pub event: Arc<Event>,
     /// Network hops this copy has traversed.
     pub hops: u32,
     /// The forwarding node — piggybacked DHT maintenance (§3.2: "the
@@ -244,10 +250,10 @@ mod tests {
         let msg = HyperMsg::Delivery(DeliveryMsg {
             scheme: 0,
             ss: 0,
-            event: Event {
+            event: Arc::new(Event {
                 id: 1,
                 point: Point(vec![1.0, 2.0]),
-            },
+            }),
             hops: 0,
             sender: Some(Peer { id: 9, idx: 4 }),
             targets: vec![
@@ -290,10 +296,10 @@ mod tests {
         let inner = HyperMsg::Delivery(DeliveryMsg {
             scheme: 0,
             ss: 0,
-            event: Event {
+            event: Arc::new(Event {
                 id: 7,
                 point: Point(vec![1.0, 2.0]),
-            },
+            }),
             hops: 0,
             sender: None,
             targets: vec![SubTarget::rendezvous(1)],

@@ -7,8 +7,7 @@ use crate::repo::{HostedRepo, RepoKey, ZoneRepo};
 use crate::world::HyperWorld;
 use hypersub_chord::proto::MaintState;
 use hypersub_chord::ChordState;
-use hypersub_simnet::{Ctx, Node};
-use std::collections::HashMap;
+use hypersub_simnet::{Ctx, FxHashMap, Node};
 use std::sync::Arc;
 
 /// A capacity-bounded first-in-first-out set used to process each
@@ -23,7 +22,9 @@ use std::sync::Arc;
 /// is safe.
 #[derive(Debug, Clone)]
 pub struct DedupCache {
-    set: HashSet<(u64, u32)>,
+    // Membership-only (never iterated), so the fixed-seed fast hasher is
+    // safe; eviction order is carried by the explicit FIFO queue.
+    set: FxHashSet<(u64, u32)>,
     order: std::collections::VecDeque<(u64, u32)>,
     capacity: usize,
 }
@@ -33,7 +34,7 @@ impl DedupCache {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
         Self {
-            set: HashSet::new(),
+            set: FxHashSet::default(),
             order: std::collections::VecDeque::new(),
             capacity,
         }
@@ -70,7 +71,7 @@ impl Default for DedupCache {
     }
 }
 
-use std::collections::HashSet;
+use hypersub_simnet::FxHashSet;
 
 /// What a node-local internal id refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,20 +106,27 @@ pub struct HyperSubNode {
     pub registry: Arc<Registry>,
     /// Shared system configuration.
     pub cfg: Arc<SystemConfig>,
-    /// Zone repositories this node is surrogate for.
-    pub repos: HashMap<RepoKey, ZoneRepo>,
-    /// Reverse index: internal id → meaning.
-    pub iids: HashMap<u32, IidTarget>,
+    /// Zone repositories this node is surrogate for. Looked up by key on
+    /// the delivery hot path (one probe per zone-tree level per
+    /// rendezvous target), hence the fixed-seed fast hasher; every
+    /// iteration site sorts collected keys before acting, so order can
+    /// never leak into message traffic.
+    pub repos: FxHashMap<RepoKey, ZoneRepo>,
+    /// Reverse index: internal id → meaning. Same hot-lookup/sorted-
+    /// iteration regime as `repos`.
+    pub iids: FxHashMap<u32, IidTarget>,
     /// Subscriptions made by this node's application.
-    pub local_subs: HashMap<u32, (SchemeId, Subscription)>,
+    pub local_subs: FxHashMap<u32, (SchemeId, Subscription)>,
     /// Migrated-in repositories, by their internal id.
-    pub hosted: HashMap<u32, HostedRepo>,
+    pub hosted: FxHashMap<u32, HostedRepo>,
     /// Load-balancer round state.
     pub lb: crate::loadbal::LbState,
     /// Whether Chord maintenance timers self-rearm (churn scenarios).
     pub maintenance: bool,
     /// Visit-once guard for `(event, repository)` pairs.
     pub dedup: DedupCache,
+    /// Reusable Algorithm 5 buffers (see `delivery.rs`).
+    pub(crate) scratch: crate::delivery::DeliveryScratch,
     /// Ack/retransmit state for reliable sends (see `retry.rs`).
     pub rel: crate::retry::RelState,
     /// Relative capacity of this node (§4: each node's threshold factor
@@ -135,13 +143,14 @@ impl HyperSubNode {
             maint: MaintState::new(chord),
             registry,
             cfg,
-            repos: HashMap::new(),
-            iids: HashMap::new(),
-            local_subs: HashMap::new(),
-            hosted: HashMap::new(),
+            repos: FxHashMap::default(),
+            iids: FxHashMap::default(),
+            local_subs: FxHashMap::default(),
+            hosted: FxHashMap::default(),
             lb: crate::loadbal::LbState::default(),
             maintenance: false,
             dedup: DedupCache::default(),
+            scratch: crate::delivery::DeliveryScratch::default(),
             rel: crate::retry::RelState::default(),
             capacity: 1.0,
             next_iid: 1, // the paper's internal IDs are positive integers

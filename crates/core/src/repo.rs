@@ -17,7 +17,7 @@
 
 use crate::model::{SchemeId, SubId, SubschemeId};
 use hypersub_lph::{Point, Rect, ZoneCode};
-use std::collections::HashMap;
+use hypersub_simnet::FxHashMap;
 
 /// Identifies one zone repository: `(scheme, subscheme, zone)`.
 pub type RepoKey = (SchemeId, SubschemeId, ZoneCode);
@@ -62,15 +62,22 @@ pub struct ZoneRepo {
     /// child zones point back here as `(node_id, iid)`.
     pub iid: u32,
     /// Stored entries keyed by subscription id.
-    pub entries: HashMap<SubId, StoredSub>,
+    pub entries: FxHashMap<SubId, StoredSub>,
     /// Smallest projected hypercuboid covering all entries.
     pub summary: Option<Rect>,
     /// What we last registered at each child zone (the "changed
     /// subdivision" dedup of Algorithm 3).
-    pub pushed: HashMap<ZoneCode, Rect>,
+    pub pushed: FxHashMap<ZoneCode, Rect>,
     /// Local matching index (§3.3), built lazily once the repository is
-    /// large; invalidated by mutation.
+    /// large. Maintained incrementally: inserts register into the existing
+    /// grid, removals leave stale ids behind (filtered out by the exact
+    /// verification pass), and the grid is rebuilt from scratch only when
+    /// the entry count has drifted more than 25% from the build-time count.
     index: Option<crate::index::GridIndex>,
+    /// Entry count when `index` was built.
+    index_built_at: usize,
+    /// Mutations absorbed by `index` since its build.
+    index_drift: usize,
 }
 
 impl ZoneRepo {
@@ -78,10 +85,27 @@ impl ZoneRepo {
     pub fn new(iid: u32) -> Self {
         Self {
             iid,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             summary: None,
-            pushed: HashMap::new(),
+            pushed: FxHashMap::default(),
             index: None,
+            index_built_at: 0,
+            index_drift: 0,
+        }
+    }
+
+    /// Absorbs one mutation into the live index: drop it once cumulative
+    /// drift exceeds 25% of the build-time size (the next `match_point`
+    /// rebuilds), otherwise register the new rect (inserts only) in place.
+    fn index_absorb(&mut self, added: Option<(SubId, &Rect)>) {
+        if self.index.is_none() {
+            return;
+        }
+        self.index_drift += 1;
+        if self.index_drift * 4 > self.index_built_at.max(1) {
+            self.index = None;
+        } else if let (Some((id, proj)), Some(grid)) = (added, self.index.as_mut()) {
+            grid.register(id, proj);
         }
     }
 
@@ -90,7 +114,7 @@ impl ZoneRepo {
     pub fn insert(&mut self, id: SubId, sub: StoredSub) -> bool {
         let proj = sub.proj().clone();
         self.entries.insert(id, sub);
-        self.index = None;
+        self.index_absorb(Some((id, &proj)));
         match &mut self.summary {
             None => {
                 self.summary = Some(proj);
@@ -112,8 +136,14 @@ impl ZoneRepo {
     /// shrunk — the migration target's surrogate subscription covers the
     /// removed entries, so the old summary stays valid.
     pub fn remove(&mut self, id: &SubId) -> Option<StoredSub> {
-        self.index = None;
-        self.entries.remove(id)
+        let removed = self.entries.remove(id);
+        if removed.is_some() {
+            // The stale registration stays in the grid; `match_point`
+            // filters candidates through `entries`, so it can only cost a
+            // wasted probe, never a wrong result.
+            self.index_absorb(None);
+        }
+        removed
     }
 
     fn check_entry(sub: &StoredSub, full: &Point, proj: &Point) -> bool {
@@ -132,10 +162,12 @@ impl ZoneRepo {
         if self.entries.len() >= crate::index::GridIndex::THRESHOLD && self.index.is_none() {
             self.index =
                 crate::index::GridIndex::build(self.entries.iter().map(|(id, s)| (id, s.proj())));
+            self.index_built_at = self.entries.len();
+            self.index_drift = 0;
         }
         let mut out: Vec<SubId> = match &self.index {
             Some(grid) => grid
-                .candidates(proj.0[0])
+                .candidates(proj)
                 .iter()
                 .filter(|id| {
                     self.entries
@@ -152,6 +184,9 @@ impl ZoneRepo {
                 .collect(),
         };
         out.sort_unstable();
+        // Re-inserting an existing id registers it into the grid again, so
+        // the candidate list can repeat ids; results must stay a set.
+        out.dedup();
         out
     }
 
@@ -184,12 +219,12 @@ pub struct HostedRepo {
     /// The zone repository they were migrated out of.
     pub source: RepoKey,
     /// Migrated subscriptions: full-space rects keyed by SubId.
-    pub entries: HashMap<SubId, Rect>,
+    pub entries: FxHashMap<SubId, Rect>,
     /// Forwarding covers for entries that migrated *onward* from here:
     /// the SubId names the next acceptor's hosted repo, the rect is the
     /// full-space cover of what moved (conservative — spurious forwards
     /// are filtered by exact matching downstream).
-    pub forwards: HashMap<SubId, Rect>,
+    pub forwards: FxHashMap<SubId, Rect>,
 }
 
 impl HostedRepo {
@@ -199,8 +234,8 @@ impl HostedRepo {
             iid,
             origin,
             source,
-            entries: HashMap::new(),
-            forwards: HashMap::new(),
+            entries: FxHashMap::default(),
+            forwards: FxHashMap::default(),
         }
     }
 
@@ -308,6 +343,47 @@ mod tests {
         r.remove(&sid(1));
         assert_eq!(r.summary, Some(rect(0.0, 4.0)));
         assert_eq!(r.real_count(), 0);
+    }
+
+    #[test]
+    fn incremental_index_stays_exact_until_drift_rebuild() {
+        let surrogate = |lo: f64| StoredSub::Surrogate {
+            proj: Rect::new(vec![lo], vec![lo + 3.0]),
+        };
+        let mut r = ZoneRepo::new(1);
+        for i in 0..80 {
+            r.insert(sid(i), surrogate((i as f64 * 1.1) % 50.0));
+        }
+        let _ = r.match_point(&Point(vec![10.0]), &Point(vec![10.0]));
+        assert!(r.index_stats().0 > 0, "grid built past the threshold");
+
+        // A few inserts (≤25% drift), some beyond the built dim-0 range:
+        // the grid absorbs them in place.
+        for i in 100..110 {
+            r.insert(sid(i), surrogate(40.0 + (i - 100) as f64 * 2.0));
+        }
+        assert!(r.index_stats().0 > 0, "index survived small drift");
+        for x in [0.0, 10.0, 45.0, 57.5] {
+            let full = Point(vec![x]);
+            let got = r.match_point(&full, &full);
+            let mut expect: Vec<SubId> = r
+                .entries
+                .iter()
+                .filter(|(_, s)| s.proj().contains_point(&full))
+                .map(|(&id, _)| id)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "grid path diverged at x={x}");
+        }
+
+        // Enough mutations to exceed 25% of the build-time size: the grid
+        // is dropped and rebuilt fresh on the next query.
+        for i in 200..230 {
+            r.insert(sid(i), surrogate((i as f64 * 0.7) % 50.0));
+        }
+        assert_eq!(r.index_stats().0, 0, "drift threshold dropped the grid");
+        let _ = r.match_point(&Point(vec![10.0]), &Point(vec![10.0]));
+        assert!(r.index_stats().0 > 0, "rebuilt on demand");
     }
 
     #[test]

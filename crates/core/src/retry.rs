@@ -28,8 +28,7 @@
 use crate::msg::HyperMsg;
 use crate::node::{DedupCache, HyperSubNode, TOKEN_RETRY_BASE};
 use crate::world::HyperWorld;
-use hypersub_simnet::{Ctx, SimTime};
-use std::collections::HashMap;
+use hypersub_simnet::{Ctx, FxHashMap, SimTime};
 
 /// One unacked reliable transmission.
 #[derive(Debug, Clone)]
@@ -45,8 +44,9 @@ pub struct PendingSend {
 /// Per-node reliable-transmission state.
 #[derive(Debug, Clone)]
 pub struct RelState {
-    /// Outstanding sends by token.
-    pub pending: HashMap<u64, PendingSend>,
+    /// Outstanding sends by token. Keyed lookups only (never iterated),
+    /// so the fixed-seed fast hasher is safe.
+    pub pending: FxHashMap<u64, PendingSend>,
     /// `(token, sender)` pairs already processed — dedups retransmissions
     /// and fault-injected duplicates.
     pub seen: DedupCache,
@@ -56,7 +56,7 @@ pub struct RelState {
 impl Default for RelState {
     fn default() -> Self {
         Self {
-            pending: HashMap::new(),
+            pending: FxHashMap::default(),
             seen: DedupCache::default(),
             next_token: 1,
         }

@@ -140,6 +140,18 @@ impl Network {
         id
     }
 
+    /// Publishes through the deep-cloning reference path
+    /// ([`HyperSubNode::publish_event_owned`]) instead of the shared-`Arc`
+    /// fast path. Exists for differential tests proving the two paths are
+    /// observationally identical.
+    pub fn publish_owned(&mut self, node: usize, scheme: SchemeId, point: Point) -> u64 {
+        let id = self.alloc_event_id();
+        self.sim.with_node_ctx(node, |n, ctx| {
+            n.publish_event_owned(ctx, scheme, Event { id, point })
+        });
+        id
+    }
+
     /// Schedules an event publication at absolute simulated time `at`.
     pub fn schedule_publish(
         &mut self,

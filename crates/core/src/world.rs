@@ -10,18 +10,130 @@ use hypersub_lph::Point;
 #[derive(Debug, Default)]
 pub struct Oracle {
     subs: Vec<(SchemeId, SubId, Subscription)>,
+    /// Lazy bucketing of `subs` by their leading attribute intervals,
+    /// rebuilt on demand after any add/remove. The oracle is
+    /// consulted once per published event; without this the linear scan
+    /// over every subscription dominated the publish hot path.
+    grid: Option<OracleGrid>,
+}
+
+/// Buckets subscription indices by their intervals on the first one or
+/// two attributes (two when every registered rect has ≥ 2 dimensions). A
+/// point query reads exactly one cell, so a subscription registered into
+/// several cells can never produce a duplicate candidate.
+#[derive(Debug)]
+struct OracleGrid {
+    /// Cells per axis; `dims` axes are active, the rest are single-cell.
+    dims: usize,
+    lo: [f64; 2],
+    width: [f64; 2],
+    cells: Vec<Vec<u32>>,
+}
+
+impl OracleGrid {
+    /// Cells per active axis (32² = 1024 cells in the 2-D case).
+    const AXIS_CELLS: usize = 32;
+
+    fn axis(subs: &[(SchemeId, SubId, Subscription)], d: usize) -> (f64, f64) {
+        let lo = subs
+            .iter()
+            .map(|(_, _, s)| s.rect.lo[d])
+            .fold(f64::INFINITY, f64::min);
+        let hi = subs
+            .iter()
+            .map(|(_, _, s)| s.rect.hi[d])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let span = hi - lo;
+        // Degenerate spans (no subs, one value) collapse to one bucket.
+        let width = if span.is_finite() && span > 0.0 {
+            span / Self::AXIS_CELLS as f64
+        } else {
+            1.0
+        };
+        (if lo.is_finite() { lo } else { 0.0 }, width)
+    }
+
+    fn build(subs: &[(SchemeId, SubId, Subscription)]) -> Self {
+        let min_rect_dims = subs
+            .iter()
+            .map(|(_, _, s)| s.rect.lo.len())
+            .min()
+            .unwrap_or(0);
+        let dims = min_rect_dims.min(2);
+        let mut lo = [0.0; 2];
+        let mut width = [1.0; 2];
+        let mut n = [1usize; 2];
+        for d in 0..dims {
+            let (l, w) = Self::axis(subs, d);
+            lo[d] = l;
+            width[d] = w;
+            n[d] = Self::AXIS_CELLS;
+        }
+        let clamp = |x: f64, d: usize| {
+            // Negative-to-usize casts saturate to 0, clamping
+            // out-of-range coordinates to the edge cells.
+            (((x - lo[d]) / width[d]) as usize).min(n[d] - 1)
+        };
+        let mut cells: Vec<Vec<u32>> = vec![Vec::new(); n[0] * n[1]];
+        for (i, (_, _, s)) in subs.iter().enumerate() {
+            let i = u32::try_from(i).expect("oracle sub index exceeds u32");
+            let (x0, x1) = if dims >= 1 {
+                (clamp(s.rect.lo[0], 0), clamp(s.rect.hi[0], 0))
+            } else {
+                (0, 0)
+            };
+            let (y0, y1) = if dims == 2 {
+                (clamp(s.rect.lo[1], 1), clamp(s.rect.hi[1], 1))
+            } else {
+                (0, 0)
+            };
+            for x in x0..=x1 {
+                for cell in cells.iter_mut().skip(x * n[1] + y0).take(y1 - y0 + 1) {
+                    cell.push(i);
+                }
+            }
+        }
+        Self {
+            dims,
+            lo,
+            width,
+            cells,
+        }
+    }
+
+    /// The candidate cell for `point`, or `None` when the point has fewer
+    /// dimensions than the grid axes (caller falls back to the scan).
+    fn cell(&self, point: &Point) -> Option<&[u32]> {
+        if point.0.len() < self.dims {
+            return None;
+        }
+        if self.dims == 0 {
+            return Some(&self.cells[0]);
+        }
+        let c = |x: f64, d: usize| ((x - self.lo[d]) / self.width[d]) as usize;
+        let x = c(point.0[0], 0).min(Self::AXIS_CELLS - 1);
+        let y = if self.dims == 2 {
+            c(point.0[1], 1).min(Self::AXIS_CELLS - 1)
+        } else {
+            0
+        };
+        let ny = if self.dims == 2 { Self::AXIS_CELLS } else { 1 };
+        Some(&self.cells[x * ny + y])
+    }
 }
 
 impl Oracle {
     /// Registers a subscription.
     pub fn add(&mut self, scheme: SchemeId, subid: SubId, sub: Subscription) {
         self.subs.push((scheme, subid, sub));
+        self.grid = None;
     }
 
     /// Removes a subscription (unsubscribe). Returns whether it existed.
     pub fn remove(&mut self, subid: SubId) -> bool {
         let before = self.subs.len();
         self.subs.retain(|(_, id, _)| *id != subid);
+        self.grid = None;
         self.subs.len() != before
     }
 
@@ -49,6 +161,28 @@ impl Oracle {
             .collect();
         out.sort_unstable();
         out
+    }
+
+    /// `expected_matches(..).len()` without materializing the id list:
+    /// candidates come from the grid cell covering `point`
+    /// and each is verified with the exact containment test, so the count
+    /// is identical to the linear scan's. `&mut self` only because the
+    /// grid builds lazily on first use.
+    pub fn expected_count(&mut self, scheme: SchemeId, point: &Point) -> usize {
+        if self.grid.is_none() {
+            self.grid = Some(OracleGrid::build(&self.subs));
+        }
+        let grid = self.grid.as_ref().expect("just built");
+        match grid.cell(point) {
+            Some(cell) => cell
+                .iter()
+                .filter(|&&i| {
+                    let (s, _, sub) = &self.subs[i as usize];
+                    *s == scheme && sub.rect.contains_point(point)
+                })
+                .count(),
+            None => self.expected_matches(scheme, point).len(),
+        }
     }
 }
 
@@ -96,6 +230,48 @@ mod tests {
         // Scheme 1 is separate.
         let m = o.expected_matches(1, &Point(vec![8.0, 8.0]));
         assert_eq!(m, vec![SubId { nid: 3, iid: 1 }]);
+    }
+
+    #[test]
+    fn expected_count_equals_linear_scan() {
+        let mut o = Oracle::default();
+        // Empty oracle (degenerate grid span).
+        assert_eq!(o.expected_count(0, &Point(vec![3.0, 3.0])), 0);
+        for i in 0..50u64 {
+            let x = (i * 7 % 100) as f64;
+            let y = (i * 13 % 100) as f64;
+            o.add(
+                (i % 2) as SchemeId,
+                SubId { nid: i, iid: 1 },
+                Subscription::new(Rect::new(
+                    vec![x * 0.9, y * 0.9],
+                    vec![(x + 5.0).min(100.0), (y + 9.0).min(100.0)],
+                )),
+            );
+        }
+        let probe = |o: &mut Oracle| {
+            for px in [0.0, 13.0, 49.5, 77.0, 100.0, 120.0, -5.0] {
+                for py in [0.0, 42.0, 88.8] {
+                    let p = Point(vec![px, py]);
+                    for scheme in 0..2 {
+                        assert_eq!(
+                            o.expected_count(scheme, &p),
+                            o.expected_matches(scheme, &p).len(),
+                            "scheme {scheme} point {px},{py}"
+                        );
+                    }
+                }
+            }
+        };
+        probe(&mut o);
+        // Mutations invalidate the grid; counts must stay exact after.
+        assert!(o.remove(SubId { nid: 7, iid: 1 }));
+        o.add(
+            0,
+            SubId { nid: 99, iid: 1 },
+            Subscription::new(Rect::new(vec![0.0, 0.0], vec![100.0, 100.0])),
+        );
+        probe(&mut o);
     }
 
     #[test]

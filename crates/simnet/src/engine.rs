@@ -261,7 +261,6 @@ impl<N, M: Payload, W> Sim<N, M, W> {
         for (dst, msg) in self.outbox.drain(..) {
             let size = msg.wire_size();
             self.net.record_out(from, size, msg.flow());
-            let lat = self.topo.latency(from, dst);
             // Self-sends never cross the network, so faults don't apply.
             let verdict = match &mut self.fault {
                 Some(fp) if dst != from => fp.judge(from, dst, self.time),
@@ -280,6 +279,11 @@ impl<N, M: Payload, W> Sim<N, M, W> {
                     self.net.record_partition_drop();
                 }
                 Verdict::Deliver { extra, dup_extra } => {
+                    // Latency is only needed (and only paid for) when the
+                    // message actually crosses the network; the fault
+                    // plane's verdict uses its own RNG, so judging before
+                    // the topology lookup changes nothing observable.
+                    let lat = self.topo.latency(from, dst);
                     if let Some(dup) = dup_extra {
                         self.net.record_duplicate();
                         self.queue.schedule(

@@ -21,6 +21,7 @@
 
 pub mod engine;
 pub mod fault;
+pub mod fxhash;
 pub mod queue;
 pub mod stats;
 pub mod time;
@@ -28,6 +29,7 @@ pub mod topology;
 
 pub use engine::{Ctx, Node, Payload, Sim};
 pub use fault::{FaultPlane, LinkPolicy, Verdict};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use stats::NetStats;
 pub use time::SimTime;
 pub use topology::{KingLikeTopology, MatrixTopology, Topology, UniformTopology};

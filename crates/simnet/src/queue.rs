@@ -3,6 +3,14 @@
 //! A binary heap keyed on `(time, sequence)`: two events scheduled for the
 //! same instant pop in scheduling order, which makes every run bit-for-bit
 //! reproducible regardless of heap internals.
+//!
+//! Event bodies live in a slab beside the heap; the heap itself holds
+//! only fixed-size `(time, seq, slot)` handles. Sift-up/sift-down during
+//! `schedule`/`pop` then moves 24-byte handles instead of entire
+//! `SimEvent<M>` values (a protocol message can be hundreds of bytes),
+//! which is a large constant-factor win on the simulator's hottest loop.
+//! Pop order is a pure function of `(time, seq)`, so the slab layout —
+//! and its LIFO free list — cannot affect determinism.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -39,25 +47,26 @@ pub enum SimEvent<M> {
     },
 }
 
-#[derive(Debug)]
-struct Scheduled<M> {
+/// A heap handle: ordering key plus the slab slot holding the event body.
+#[derive(Debug, Clone, Copy)]
+struct Scheduled {
     at: SimTime,
     seq: u64,
-    ev: SimEvent<M>,
+    slot: u32,
 }
 
-impl<M> PartialEq for Scheduled<M> {
+impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for Scheduled<M> {
+impl Ord for Scheduled {
     // Reversed so BinaryHeap (a max-heap) pops the *earliest* event first.
     fn cmp(&self, other: &Self) -> Ordering {
         (other.at, other.seq).cmp(&(self.at, self.seq))
@@ -67,7 +76,9 @@ impl<M> Ord for Scheduled<M> {
 /// Deterministic future-event list.
 #[derive(Debug)]
 pub struct EventQueue<M> {
-    heap: BinaryHeap<Scheduled<M>>,
+    heap: BinaryHeap<Scheduled>,
+    slab: Vec<Option<SimEvent<M>>>,
+    free: Vec<u32>,
     seq: u64,
 }
 
@@ -75,6 +86,8 @@ impl<M> Default for EventQueue<M> {
     fn default() -> Self {
         Self {
             heap: BinaryHeap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
             seq: 0,
         }
     }
@@ -90,12 +103,28 @@ impl<M> EventQueue<M> {
     pub fn schedule(&mut self, at: SimTime, ev: SimEvent<M>) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Scheduled { at, seq, ev });
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s as usize] = Some(ev);
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slab.len()).expect("event slab exceeds u32 slots");
+                self.slab.push(Some(ev));
+                s
+            }
+        };
+        self.heap.push(Scheduled { at, seq, slot });
     }
 
     /// Pops the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, SimEvent<M>)> {
-        self.heap.pop().map(|s| (s.at, s.ev))
+        let s = self.heap.pop()?;
+        let ev = self.slab[s.slot as usize]
+            .take()
+            .expect("scheduled slot holds an event");
+        self.free.push(s.slot);
+        Some((s.at, ev))
     }
 
     /// Time of the next event without removing it.

@@ -6,7 +6,7 @@
 //! message counters, plus per-flow byte counters keyed by an opaque flow id
 //! (the HyperSub layer tags every delivery message with its event id).
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 /// Per-node traffic counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -35,10 +35,13 @@ pub struct FlowTraffic {
 /// `PartialEq` compares every counter (flow maps compare as maps, so
 /// iteration order is irrelevant); two runs of the same seeded scenario
 /// must produce equal `NetStats`, which the determinism tests assert.
+/// The flow map uses [`FxHashMap`]: every flow-tagged send does a lookup
+/// here, and the map is only ever read back by key or as a whole map, so
+/// the cheap fixed-seed hash is safe.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetStats {
     nodes: Vec<NodeTraffic>,
-    flows: HashMap<u64, FlowTraffic>,
+    flows: FxHashMap<u64, FlowTraffic>,
     dropped: u64,
     fault_dropped: u64,
     partition_dropped: u64,
@@ -52,7 +55,7 @@ impl NetStats {
     pub fn new(n: usize) -> Self {
         Self {
             nodes: vec![NodeTraffic::default(); n],
-            flows: HashMap::new(),
+            flows: FxHashMap::default(),
             dropped: 0,
             fault_dropped: 0,
             partition_dropped: 0,
@@ -119,7 +122,7 @@ impl NetStats {
     }
 
     /// All flows seen.
-    pub fn flows(&self) -> &HashMap<u64, FlowTraffic> {
+    pub fn flows(&self) -> &FxHashMap<u64, FlowTraffic> {
         &self.flows
     }
 

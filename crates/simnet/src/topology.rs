@@ -132,11 +132,22 @@ pub struct KingLikeTopology {
     scale: f64,
     /// Per-pair jitter seed.
     seed: u64,
+    /// Precomputed row-major one-way latency matrix, populated for
+    /// topologies up to [`Self::MATRIX_MAX_NODES`] nodes. Every message
+    /// send does a latency lookup, so for paper-scale networks (the King
+    /// dataset's 1740 nodes ≈ 24 MB of matrix) a table load replaces a
+    /// 5-d distance + jitter-hash computation. Larger topologies fall
+    /// back to computing on the fly.
+    matrix: Option<Vec<SimTime>>,
 }
 
 impl KingLikeTopology {
     /// Dimensionality of the synthetic embedding.
     const DIMS: usize = 5;
+
+    /// Largest node count for which the full latency matrix is cached
+    /// (2048² × 8 B ≈ 34 MB; the paper's 1740-node network fits).
+    pub const MATRIX_MAX_NODES: usize = 2048;
 
     /// Generates `n` nodes whose mean pairwise RTT is calibrated to
     /// `target_mean_rtt`. Deterministic in `(n, seed, target)`.
@@ -155,6 +166,7 @@ impl KingLikeTopology {
             coords,
             scale: 1.0,
             seed,
+            matrix: None,
         };
         if n >= 2 {
             // Calibrate: measure the mean jittered distance, then choose the
@@ -185,7 +197,25 @@ impl KingLikeTopology {
             let target_one_way_us = target_mean_rtt.as_micros() as f64 / 2.0;
             topo.scale = target_one_way_us / mean.max(1e-9);
         }
+        if (2..=Self::MATRIX_MAX_NODES).contains(&n) {
+            // Jitter is symmetric, so one computation fills both triangles
+            // with exactly the value the on-the-fly path would produce.
+            let mut m = vec![SimTime::ZERO; n * n];
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    let l = topo.compute_latency(a, b);
+                    m[a * n + b] = l;
+                    m[b * n + a] = l;
+                }
+            }
+            topo.matrix = Some(m);
+        }
         topo
+    }
+
+    fn compute_latency(&self, src: usize, dst: usize) -> SimTime {
+        let us = self.jittered_distance(src, dst) * self.scale;
+        SimTime::from_micros(us.round().max(1.0) as u64)
     }
 
     fn distance(&self, a: usize, b: usize) -> f64 {
@@ -230,8 +260,10 @@ impl Topology for KingLikeTopology {
         if src == dst {
             return SimTime::ZERO;
         }
-        let us = self.jittered_distance(src, dst) * self.scale;
-        SimTime::from_micros(us.round().max(1.0) as u64)
+        match &self.matrix {
+            Some(m) => m[src * self.coords.len() + dst],
+            None => self.compute_latency(src, dst),
+        }
     }
 }
 
@@ -292,6 +324,22 @@ mod tests {
         let min = lats[0] as f64;
         let max = *lats.last().unwrap() as f64;
         assert!(max / min.max(1.0) > 3.0, "expected wide latency spread");
+    }
+
+    #[test]
+    fn kinglike_matrix_matches_on_the_fly() {
+        let t = KingLikeTopology::generate(64, SimTime::from_millis(180), 5);
+        assert!(t.matrix.is_some(), "small topology caches its matrix");
+        for a in 0..64 {
+            for b in 0..64 {
+                let expect = if a == b {
+                    SimTime::ZERO
+                } else {
+                    t.compute_latency(a, b)
+                };
+                assert_eq!(t.latency(a, b), expect, "pair ({a}, {b})");
+            }
+        }
     }
 
     #[test]

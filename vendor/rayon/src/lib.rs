@@ -3,9 +3,14 @@
 //! The experiment harness only uses `par_iter().map(f).collect()` over
 //! small config lists, so this shim provides exactly that: a
 //! [`prelude::IntoParallelRefIterator`] whose `map(..).collect()`
-//! evaluates with `std::thread::scope`, one thread per item, preserving
-//! input order. Item counts are the number of experiment configs
-//! (single digits to low tens), so thread-per-item is appropriate.
+//! evaluates with `std::thread::scope`, preserving input order.
+//!
+//! Concurrency is bounded to the machine's parallelism (overridable via
+//! `RAYON_NUM_THREADS`): items run in chunks of at most that many
+//! threads. Thread-per-item ran *every* experiment config at once, and a
+//! dozen concurrent thousand-node simulations exhaust memory on small
+//! machines — exactly how the fig5 sweep used to die at its largest
+//! network sizes.
 
 pub mod prelude {
     /// `.par_iter()` on slices and `Vec`s.
@@ -56,7 +61,9 @@ pub mod prelude {
     }
 
     impl<'data, T: Sync, F> ParMap<'data, T, F> {
-        /// Runs the map on scoped threads and collects in input order.
+        /// Runs the map on scoped threads — at most
+        /// [`max_concurrency`](super::max_concurrency) at a time — and
+        /// collects in input order.
         pub fn collect<C, O>(self) -> C
         where
             F: Fn(&'data T) -> O + Sync,
@@ -64,20 +71,39 @@ pub mod prelude {
             C: FromIterator<O>,
         {
             let f = &self.f;
-            let mut results: Vec<Option<O>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .items
-                    .iter()
-                    .map(|item| scope.spawn(move || f(item)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| Some(h.join().expect("parallel task panicked")))
-                    .collect()
-            });
+            let cap = super::max_concurrency().max(1);
+            let mut results: Vec<Option<O>> = Vec::with_capacity(self.items.len());
+            for chunk in self.items.chunks(cap) {
+                let chunk_results: Vec<Option<O>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = chunk
+                        .iter()
+                        .map(|item| scope.spawn(move || f(item)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| Some(h.join().expect("parallel task panicked")))
+                        .collect()
+                });
+                results.extend(chunk_results);
+            }
             results.iter_mut().map(|o| o.take().unwrap()).collect()
         }
     }
+}
+
+/// Maximum worker threads per batch: `RAYON_NUM_THREADS` if set (like
+/// real rayon), otherwise the machine's available parallelism.
+pub(crate) fn max_concurrency() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 #[cfg(test)]
@@ -96,5 +122,14 @@ mod tests {
         let v = [5u32, 6];
         let out: Vec<u32> = v.par_iter().map(|x| x + 1).collect();
         assert_eq!(out, vec![6, 7]);
+    }
+
+    #[test]
+    fn bounded_concurrency_preserves_order() {
+        // More items than any plausible parallelism cap: order must hold
+        // across chunk boundaries.
+        let v: Vec<u64> = (0..257).collect();
+        let out: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..257).map(|x| x * 2).collect::<Vec<_>>());
     }
 }

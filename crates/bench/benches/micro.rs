@@ -8,7 +8,7 @@ use hypersub_chord::routing::route_path;
 use hypersub_core::config::SystemConfig;
 use hypersub_core::model::{Registry, SubId, Subscription};
 use hypersub_core::repo::{StoredSub, ZoneRepo};
-use hypersub_core::sim::{Network, NetworkParams};
+use hypersub_core::sim::Network;
 use hypersub_lph::{lph_point, lph_rect, ContentSpace, Point, Rect, ZoneCode, ZoneParams};
 use hypersub_simnet::{SimTime, UniformTopology};
 use hypersub_workload::{WorkloadGen, WorkloadSpec};
@@ -87,13 +87,12 @@ fn bench_routing(c: &mut Criterion) {
 fn bench_end_to_end(c: &mut Criterion) {
     let spec = WorkloadSpec::paper_table1();
     let registry = Registry::new(vec![spec.scheme_def(0)]);
-    let mut net = Network::build(NetworkParams {
-        nodes: 64,
-        registry,
-        config: SystemConfig::default(),
-        seed: 3,
-        ..NetworkParams::default()
-    });
+    let mut net = Network::builder(64)
+        .registry(registry)
+        .config(SystemConfig::default())
+        .seed(3)
+        .build()
+        .expect("valid bench configuration");
     let mut gen = WorkloadGen::new(spec, 3);
     for node in 0..64 {
         for _ in 0..4 {
@@ -105,7 +104,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     c.bench_function("publish + full delivery (64 nodes, 256 subs)", |b| {
         b.iter(|| {
             n = (n + 1) % 64;
-            net.publish(n, 0, gen.event_point());
+            net.publish(n, 0, gen.event_point()).unwrap();
             net.run_to_quiescence();
         })
     });

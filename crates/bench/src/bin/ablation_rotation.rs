@@ -9,7 +9,7 @@
 use hypersub_bench::is_quick;
 use hypersub_core::config::SystemConfig;
 use hypersub_core::model::{Registry, SchemeDef};
-use hypersub_core::sim::{Network, NetworkParams, TopologyKind};
+use hypersub_core::sim::{Network, TopologyKind};
 use hypersub_simnet::SimTime;
 use hypersub_stats::Table;
 use hypersub_workload::{WorkloadGen, WorkloadSpec};
@@ -67,14 +67,13 @@ fn run(rotation: bool, quick: bool) -> Outcome {
     let (registry, spec) = build_registry(rotation, n_schemes);
     let nodes = if quick { 128 } else { 1000 };
     let events_per_scheme = if quick { 100 } else { 1000 };
-    let mut net = Network::build(NetworkParams {
-        nodes,
-        registry,
-        config: SystemConfig::default(),
-        topology: TopologyKind::KingLike(SimTime::from_millis(180)),
-        seed: 0xa2,
-        ..NetworkParams::default()
-    });
+    let mut net = Network::builder(nodes)
+        .registry(registry)
+        .config(SystemConfig::default())
+        .topology(TopologyKind::KingLike(SimTime::from_millis(180)))
+        .seed(0xa2)
+        .build()
+        .expect("valid ablation configuration");
     let mut gens: Vec<WorkloadGen> = (0..n_schemes)
         .map(|i| WorkloadGen::new(spec.clone(), 0xbeef + i as u64))
         .collect();
@@ -91,7 +90,8 @@ fn run(rotation: bool, quick: bool) -> Outcome {
         for (s, _) in (0..n_schemes).enumerate() {
             let node = gens[s].random_node(nodes);
             let point = gens[s].event_point();
-            net.schedule_publish(t, node, s as u32, point);
+            net.schedule_publish(t, node, s as u32, point)
+                .expect("publisher index in range");
             t += gens[s].interarrival();
         }
     }

@@ -10,7 +10,7 @@
 
 use hypersub_bench::{is_quick, ExperimentConfig};
 use hypersub_core::model::Registry;
-use hypersub_core::sim::{Network, NetworkParams, TopologyKind};
+use hypersub_core::sim::{Network, TopologyKind};
 use hypersub_simnet::SimTime;
 use hypersub_stats::Table;
 use hypersub_workload::WorkloadGen;
@@ -43,14 +43,13 @@ fn run(label: &str, subschemes: Option<Vec<Vec<usize>>>, quick: bool) -> Outcome
         None => cfg.spec.scheme_def(0),
     };
     let registry = Registry::new(vec![scheme]);
-    let mut net = Network::build(NetworkParams {
-        nodes: cfg.nodes,
-        registry,
-        config: cfg.system.clone(),
-        topology: TopologyKind::KingLike(cfg.mean_rtt),
-        seed: cfg.seed,
-        ..NetworkParams::default()
-    });
+    let mut net = Network::builder(cfg.nodes)
+        .registry(registry)
+        .config(cfg.system.clone())
+        .topology(TopologyKind::KingLike(cfg.mean_rtt))
+        .seed(cfg.seed)
+        .build()
+        .expect("valid ablation configuration");
     let mut gen = WorkloadGen::new(cfg.spec.clone(), cfg.seed ^ 0x55);
     // Partial subscriptions: half constrain {0,1}, half {2,3}.
     for node in 0..cfg.nodes {
@@ -68,7 +67,8 @@ fn run(label: &str, subschemes: Option<Vec<Vec<usize>>>, quick: bool) -> Outcome
     let mut t = net.time() + SimTime::from_secs(1);
     for _ in 0..cfg.spec.events {
         let node = gen.random_node(cfg.nodes);
-        net.schedule_publish(t, node, 0, gen.event_point());
+        net.schedule_publish(t, node, 0, gen.event_point())
+            .expect("publisher index in range");
         t += gen.interarrival();
     }
     net.run_to_quiescence();

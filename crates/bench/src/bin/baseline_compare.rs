@@ -13,7 +13,7 @@ use hypersub_bench::is_quick;
 use hypersub_chord::builder::{build_ring, RingConfig};
 use hypersub_core::config::SystemConfig;
 use hypersub_core::model::{Event, Registry};
-use hypersub_core::sim::{Network, NetworkParams, TopologyKind};
+use hypersub_core::sim::{Network, TopologyKind};
 use hypersub_simnet::{KingLikeTopology, Sim, SimTime, Topology};
 use hypersub_stats::Table;
 use hypersub_workload::{WorkloadGen, WorkloadSpec};
@@ -68,14 +68,13 @@ fn scale(quick: bool) -> (usize, usize, usize) {
 fn run_hypersub(quick: bool, spec: &WorkloadSpec, seed: u64) -> Row {
     let (nodes, subs_per_node, n_events) = scale(quick);
     let registry = Registry::new(vec![spec.scheme_def(0)]);
-    let mut net = Network::build(NetworkParams {
-        nodes,
-        registry,
-        config: SystemConfig::default(),
-        topology: TopologyKind::KingLike(SimTime::from_millis(180)),
-        seed,
-        ..NetworkParams::default()
-    });
+    let mut net = Network::builder(nodes)
+        .registry(registry)
+        .config(SystemConfig::default())
+        .topology(TopologyKind::KingLike(SimTime::from_millis(180)))
+        .seed(seed)
+        .build()
+        .expect("valid baseline configuration");
     let mut gen = WorkloadGen::new(spec.clone(), seed);
     for node in 0..nodes {
         for _ in 0..subs_per_node {
@@ -87,7 +86,8 @@ fn run_hypersub(quick: bool, spec: &WorkloadSpec, seed: u64) -> Row {
     let mut t = net.time() + SimTime::from_secs(1);
     for _ in 0..n_events {
         let node = gen.random_node(nodes);
-        net.schedule_publish(t, node, 0, gen.event_point());
+        net.schedule_publish(t, node, 0, gen.event_point())
+            .expect("publisher index in range");
         t += gen.interarrival();
     }
     net.run_to_quiescence();

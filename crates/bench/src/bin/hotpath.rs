@@ -12,12 +12,16 @@
 //! entries measuring the same workload MUST agree on the digest, which
 //! proves an optimization changed only speed, never behavior.
 //!
-//! Usage: `hotpath [--quick] [--label NAME] [--out PATH]`.
+//! Usage: `hotpath [--quick] [--label NAME] [--out PATH] [--report PATH]`.
+//!
+//! `--report PATH` additionally runs the workload with a flight recorder
+//! installed and writes the full run [`Report`](hypersub_core::report)
+//! as JSON — the artifact `report diff` compares in CI. Recording is
+//! digest-neutral, so the reported digest equals the timed run's.
 
 use hypersub_core::config::SystemConfig;
-use hypersub_core::digest;
 use hypersub_core::model::Registry;
-use hypersub_core::sim::{Network, NetworkParams, TopologyKind};
+use hypersub_core::sim::{Network, TopologyKind};
 use hypersub_simnet::SimTime;
 use hypersub_workload::{WorkloadGen, WorkloadSpec};
 use std::time::Instant;
@@ -61,18 +65,23 @@ struct RunOutcome {
     grid_entries: u64,
 }
 
-fn run_pinned(p: &Pinned) -> RunOutcome {
+/// Trace window for `--report` runs: big enough to keep the interesting
+/// tail, small enough to stay cheap.
+const REPORT_TRACE_CAPACITY: usize = 1 << 14;
+
+fn run_pinned(p: &Pinned, record: bool) -> (RunOutcome, Network) {
     let spec = WorkloadSpec::paper_table1();
     let registry = Registry::new(vec![spec.scheme_def(0)]);
     let setup_start = Instant::now();
-    let mut net = Network::build(NetworkParams {
-        nodes: p.nodes,
-        registry,
-        config: SystemConfig::default(),
-        topology: TopologyKind::KingLike(SimTime::from_millis(180)),
-        seed: p.seed,
-        ..NetworkParams::default()
-    });
+    let mut builder = Network::builder(p.nodes)
+        .registry(registry)
+        .config(SystemConfig::default())
+        .topology(TopologyKind::KingLike(SimTime::from_millis(180)))
+        .seed(p.seed);
+    if record {
+        builder = builder.flight_recorder(REPORT_TRACE_CAPACITY);
+    }
+    let mut net = builder.build().expect("valid pinned configuration");
     let mut gen = WorkloadGen::new(spec, p.seed ^ 0xabcd);
     for node in 0..p.nodes {
         for _ in 0..p.subs_per_node {
@@ -85,28 +94,30 @@ fn run_pinned(p: &Pinned) -> RunOutcome {
     let mut t = net.time() + SimTime::from_secs(1);
     for _ in 0..p.events {
         let node = gen.random_node(p.nodes);
-        net.schedule_publish(t, node, 0, gen.event_point());
+        net.schedule_publish(t, node, 0, gen.event_point())
+            .expect("publisher index in range");
         t += gen.interarrival();
     }
-    let steps_before = net.sim().steps();
+    let steps_before = net.steps();
     let publish_start = Instant::now();
     net.run_to_quiescence();
     let publish_ms = publish_start.elapsed().as_secs_f64() * 1e3;
-    let sim_events = net.sim().steps() - steps_before;
+    let sim_events = net.steps() - steps_before;
 
-    let (regs, entries) = net.sim().nodes().iter().fold((0u64, 0u64), |(r, e), n| {
+    let (regs, entries) = net.nodes().iter().fold((0u64, 0u64), |(r, e), n| {
         let (nr, ne) = n.index_stats();
         (r + nr, e + ne)
     });
-    RunOutcome {
+    let outcome = RunOutcome {
         setup_ms,
         publish_ms,
         sim_events,
         msgs: net.net().total_msgs(),
-        digest: digest::run_digest(net.sim().world().metrics.deliveries(), net.net()),
+        digest: net.run_digest(),
         grid_registrations: regs,
         grid_entries: entries,
-    }
+    };
+    (outcome, net)
 }
 
 /// One run entry, serialized as a single JSON line so the merge logic
@@ -167,6 +178,7 @@ fn main() {
     };
     let label = flag("--label").unwrap_or_else(|| "run".to_string());
     let out = flag("--out").unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let report_path = flag("--report");
     let mode = if quick { "quick" } else { "full" };
     let p = if quick {
         Pinned::quick()
@@ -178,7 +190,12 @@ fn main() {
         "hotpath [{mode}]: {} nodes, {} subs/node, {} events, seed {:#x}",
         p.nodes, p.subs_per_node, p.events, p.seed
     );
-    let o = run_pinned(&p);
+    let (o, net) = run_pinned(&p, report_path.is_some());
+    if let Some(path) = &report_path {
+        std::fs::write(path, net.report().to_json()).expect("write run report");
+        eprintln!("hotpath [{mode}]: run report written to {path}");
+    }
+    drop(net);
     let line = entry_json(&label, mode, &p, &o);
     eprintln!(
         "hotpath [{mode}] {label}: setup {:.1} ms, publish {:.1} ms, {} sim events \

@@ -1,0 +1,162 @@
+//! Run-report inspector: summarize one report, or diff two.
+//!
+//! Reports are the JSON documents `hotpath --report PATH` (and
+//! `Network::report()` generally) produce — see `hypersub_core::report`.
+//!
+//! Usage:
+//!   report summarize <FILE>
+//!   report diff <BASELINE> <CANDIDATE>
+//!
+//! `diff` prints per-field deltas and exits nonzero when the two runs'
+//! digests differ — the CI gate against behavioral drift on the pinned
+//! workload.
+
+use hypersub_core::report::Report;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Report::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn summarize(path: &str, r: &Report) {
+    println!("report {path}");
+    println!("  nodes          {}", r.nodes);
+    println!("  sim time       {:.3} s", r.time_us as f64 / 1e6);
+    println!("  sim steps      {}", r.steps);
+    println!("  digest         {:#018x}", r.digest);
+    let e = &r.events;
+    println!(
+        "  events         {} published, {}/{} delivered, {} dup, max {} hops / {:.1} ms",
+        e.published,
+        e.delivered,
+        e.expected,
+        e.duplicates,
+        e.max_hops,
+        e.max_latency_us as f64 / 1e3
+    );
+    let n = &r.net;
+    println!(
+        "  net            {} msgs, {} bytes, drops {} dead / {} loss / {} partition, {} dup",
+        n.total_msgs, n.total_bytes, n.dropped, n.fault_dropped, n.partition_dropped, n.duplicated
+    );
+    for (name, c) in &r.counters {
+        println!(
+            "  counter        {name:<28} total {:>8}  max/node {}",
+            c.total, c.max_node
+        );
+    }
+    for (name, h) in &r.histograms {
+        let mean = if h.count == 0 {
+            0.0
+        } else {
+            h.sum as f64 / h.count as f64
+        };
+        println!(
+            "  histogram      {name:<28} n {:>8}  mean {mean:.1}  max {}",
+            h.count, h.max
+        );
+    }
+    match &r.trace {
+        None => println!("  trace          (recording disabled)"),
+        Some(t) => {
+            println!(
+                "  trace          {} recorded, {} evicted (capacity {})",
+                t.recorded, t.evicted, t.capacity
+            );
+            for (kind, count) in &t.kinds {
+                println!("    {kind:<20} {count}");
+            }
+        }
+    }
+}
+
+fn delta_line(name: &str, a: u64, b: u64) {
+    if a == b {
+        println!("  {name:<28} {a:>12}  (unchanged)");
+    } else {
+        let pct = if a == 0 {
+            f64::INFINITY
+        } else {
+            100.0 * (b as f64 - a as f64) / a as f64
+        };
+        println!("  {name:<28} {a:>12} -> {b:<12} ({pct:+.1}%)");
+    }
+}
+
+fn diff(pa: &str, a: &Report, pb: &str, b: &Report) -> ExitCode {
+    println!("diff {pa} -> {pb}");
+    delta_line("nodes", a.nodes, b.nodes);
+    delta_line("time_us", a.time_us, b.time_us);
+    delta_line("steps", a.steps, b.steps);
+    delta_line("events.published", a.events.published, b.events.published);
+    delta_line("events.delivered", a.events.delivered, b.events.delivered);
+    delta_line(
+        "events.duplicates",
+        a.events.duplicates,
+        b.events.duplicates,
+    );
+    delta_line("net.total_msgs", a.net.total_msgs, b.net.total_msgs);
+    delta_line("net.total_bytes", a.net.total_bytes, b.net.total_bytes);
+    delta_line("net.dropped", a.net.dropped, b.net.dropped);
+    for (name, ca) in &a.counters {
+        let cb = b
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c.total)
+            .unwrap_or(0);
+        delta_line(name, ca.total, cb);
+    }
+    for (name, _) in &b.counters {
+        if !a.counters.iter().any(|(n, _)| n == name) {
+            println!("  {name:<28} (only in {pb})");
+        }
+    }
+    if a.digest == b.digest {
+        println!("  digest                       {:#018x}  MATCH", a.digest);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "  digest                       {:#018x} -> {:#018x}  MISMATCH",
+            a.digest, b.digest
+        );
+        eprintln!("report diff: behavioral drift — run digests differ");
+        ExitCode::FAILURE
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: report summarize <FILE> | report diff <BASELINE> <CANDIDATE>");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("summarize") => match args.get(2) {
+            Some(path) => match load(path) {
+                Ok(r) => {
+                    summarize(path, &r);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("report: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            None => usage(),
+        },
+        Some("diff") => match (args.get(2), args.get(3)) {
+            (Some(pa), Some(pb)) => match (load(pa), load(pb)) {
+                (Ok(a), Ok(b)) => diff(pa, &a, pb, &b),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("report: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            _ => usage(),
+        },
+        _ => usage(),
+    }
+}

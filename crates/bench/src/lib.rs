@@ -21,7 +21,7 @@
 use hypersub_core::config::SystemConfig;
 use hypersub_core::metrics::EventStats;
 use hypersub_core::model::Registry;
-use hypersub_core::sim::{Network, NetworkParams, TopologyKind};
+use hypersub_core::sim::{Network, TopologyKind};
 use hypersub_simnet::stats::NodeTraffic;
 use hypersub_simnet::SimTime;
 use hypersub_stats::{Cdf, Table};
@@ -160,14 +160,13 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         None => cfg.spec.scheme_def(0),
     };
     let registry = Registry::new(vec![scheme]);
-    let mut net = Network::build(NetworkParams {
-        nodes: cfg.nodes,
-        registry,
-        config: cfg.system.clone(),
-        topology: TopologyKind::KingLike(cfg.mean_rtt),
-        seed: cfg.seed,
-        ..NetworkParams::default()
-    });
+    let mut net = Network::builder(cfg.nodes)
+        .registry(registry)
+        .config(cfg.system.clone())
+        .topology(TopologyKind::KingLike(cfg.mean_rtt))
+        .seed(cfg.seed)
+        .build()
+        .expect("valid experiment configuration");
     let mut gen = WorkloadGen::new(cfg.spec.clone(), cfg.seed ^ 0xabcd);
 
     // Phase 1: install subscriptions on every node.
@@ -191,7 +190,8 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     let mut t = net.time() + SimTime::from_secs(1);
     for _ in 0..cfg.spec.events {
         let node = gen.random_node(cfg.nodes);
-        net.schedule_publish(t, node, 0, gen.event_point());
+        net.schedule_publish(t, node, 0, gen.event_point())
+            .expect("publisher index in range");
         t += gen.interarrival();
     }
     let grace = SimTime::from_secs(120);
@@ -210,10 +210,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         install_msgs,
         install_bytes,
         total_subs: cfg.nodes * cfg.spec.subs_per_node,
-        avg_rtt: net
-            .sim()
-            .topology()
-            .avg_rtt_sampled(50_000, cfg.seed ^ 0xfeed),
+        avg_rtt: net.topology().avg_rtt_sampled(50_000, cfg.seed ^ 0xfeed),
     }
 }
 

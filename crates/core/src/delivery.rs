@@ -20,7 +20,7 @@ use crate::msg::{DeliveryMsg, HyperMsg};
 use crate::node::{HyperSubNode, IidTarget};
 use crate::world::HyperWorld;
 use hypersub_chord::routing::{next_hop, NextHop};
-use hypersub_simnet::{Ctx, FxHashSet};
+use hypersub_simnet::{Ctx, FxHashSet, ProtoEvent};
 use std::sync::Arc;
 
 /// Cap on pooled per-hop target buffers kept by a node between messages.
@@ -31,7 +31,7 @@ const TARGET_POOL_CAP: usize = 8;
 /// persist across messages instead (cleared, capacity retained), making
 /// the steady-state hot path allocation-free.
 #[derive(Debug, Clone, Default)]
-pub struct DeliveryScratch {
+pub(crate) struct DeliveryScratch {
     /// Dedup of SubID-list entries merged during phase 1. Membership-only
     /// (never iterated), so the fixed-seed fast hasher is safe.
     seen: FxHashSet<SubTarget>,
@@ -158,6 +158,17 @@ impl HyperSubNode {
         // previous BTreeMap-based implementation produced (neighbor
         // indices are unique keys, so unstable sort is exact).
         groups.sort_unstable_by_key(|&(idx, _)| idx);
+        if !groups.is_empty() {
+            let m = &mut ctx.world.metrics.proto;
+            m.delivery_splits.inc(ctx.me);
+            m.delivery_fanout.observe(groups.len() as u64);
+            ctx.trace(|| ProtoEvent {
+                kind: "delivery.split",
+                flow: Some(msg.event.id),
+                a: groups.len() as u64,
+                b: groups.iter().map(|(_, v)| v.len() as u64).sum(),
+            });
+        }
         for (idx, targets) in groups.drain(..) {
             self.send_reliable(
                 ctx,
@@ -214,10 +225,13 @@ impl HyperSubNode {
                 let ssdef = &self.registry.scheme(msg.scheme).subschemes[msg.ss as usize];
                 let leaf = hypersub_lph::lph_point(&self.cfg.zone, &ssdef.space, proj);
                 let mut z = leaf;
+                let mut matched = 0u64;
                 loop {
                     if let Some(repo) = self.repos.get_mut(&(msg.scheme, msg.ss, z)) {
                         if self.dedup.insert((msg.event.id, repo.iid)) {
-                            merge(repo.match_point(&msg.event.point, proj), queue);
+                            let ids = repo.match_point(&msg.event.point, proj);
+                            matched += ids.len() as u64;
+                            merge(ids, queue);
                         }
                     }
                     match z.parent(&self.cfg.zone) {
@@ -225,6 +239,13 @@ impl HyperSubNode {
                         None => break,
                     }
                 }
+                ctx.world.metrics.proto.rendezvous_matches.inc(ctx.me);
+                ctx.trace(|| ProtoEvent {
+                    kind: "delivery.rendezvous",
+                    flow: Some(msg.event.id),
+                    a: matched,
+                    b: 0,
+                });
             }
             Some(iid) if t.nid != self.maint.chord.id => {
                 // We are the key's successor but not the node this target
@@ -247,6 +268,12 @@ impl HyperSubNode {
                             ctx.now,
                             msg.hops,
                         );
+                        ctx.trace(|| ProtoEvent {
+                            kind: "delivery.local",
+                            flow: Some(msg.event.id),
+                            a: iid as u64,
+                            b: msg.hops as u64,
+                        });
                     }
                     Some(IidTarget::Repo(key)) => {
                         if let Some(repo) = self.repos.get_mut(&key) {

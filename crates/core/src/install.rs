@@ -20,7 +20,7 @@ use crate::repo::{RepoKey, StoredSub, ZoneRepo};
 use crate::world::HyperWorld;
 use hypersub_chord::routing::{next_hop, NextHop};
 use hypersub_lph::{lph_rect, rotation::rotate_key, ZoneCode};
-use hypersub_simnet::Ctx;
+use hypersub_simnet::{Ctx, ProtoEvent};
 
 impl HyperSubNode {
     /// Algorithm 2: install a subscription originating at this node.
@@ -99,6 +99,12 @@ impl HyperSubNode {
         let proj = scheme.project_rect(ss, &sub.rect);
         let zone = lph_rect(&self.cfg.zone, &ssdef.space, &proj);
         let key = rotate_key(zone.key(&self.cfg.zone), ssdef.rotation);
+        ctx.trace(|| ProtoEvent {
+            kind: "sub.unregister",
+            flow: None,
+            a: subid.nid,
+            b: iid as u64,
+        });
         self.route_or_local(
             ctx,
             key,
@@ -267,6 +273,13 @@ impl HyperSubNode {
         }
         let repo = self.repos.get_mut(&repo_key).expect("just inserted");
         let summary_grew = repo.insert(id, sub);
+        ctx.world.metrics.proto.sub_registers.inc(ctx.me);
+        ctx.trace(|| ProtoEvent {
+            kind: "sub.register",
+            flow: None,
+            a: id.nid,
+            b: id.iid as u64,
+        });
         if summary_grew {
             self.push_down(ctx, repo_key);
         }
@@ -336,6 +349,17 @@ impl HyperSubNode {
         if to_send.is_empty() {
             return;
         }
+        ctx.world
+            .metrics
+            .proto
+            .chain_pushes
+            .add(ctx.me, to_send.len() as u64);
+        ctx.trace(|| ProtoEvent {
+            kind: "sub.chain_push",
+            flow: None,
+            a: to_send.len() as u64,
+            b: zone.level as u64,
+        });
         {
             let repo = self.repos.get_mut(&repo_key).expect("exists");
             for (child, sf) in &to_send {

@@ -20,7 +20,7 @@ use crate::repo::{HostedRepo, RepoKey, StoredSub};
 use crate::world::HyperWorld;
 use hypersub_chord::Peer;
 use hypersub_lph::Rect;
-use hypersub_simnet::Ctx;
+use hypersub_simnet::{Ctx, ProtoEvent};
 use std::collections::{HashMap, HashSet};
 
 /// Where an offered subscription currently lives on this node.
@@ -263,10 +263,19 @@ impl HyperSubNode {
         }
 
         let me = self.maint.chord.me();
+        let mut offered_any = false;
         for (i, items) in assignment.into_iter().enumerate() {
             if items.is_empty() {
                 continue;
             }
+            offered_any = true;
+            let offered = items.len() as u64;
+            ctx.trace(|| ProtoEvent {
+                kind: "lb.offer",
+                flow: None,
+                a: targets[i].idx as u64,
+                b: offered,
+            });
             // Group into one MigBatch per source repo key.
             let mut by_source: std::collections::BTreeMap<RepoKey, Vec<(SubOrigin, SubId, Rect)>> =
                 std::collections::BTreeMap::new();
@@ -300,6 +309,9 @@ impl HyperSubNode {
                     batches: target_batches,
                 },
             );
+        }
+        if offered_any {
+            ctx.world.metrics.proto.migration_rounds.inc(ctx.me);
         }
     }
 
@@ -340,6 +352,13 @@ impl HyperSubNode {
             });
         }
         if !acks.is_empty() {
+            let accepted = acks.len() as u64;
+            ctx.trace(|| ProtoEvent {
+                kind: "lb.migrate_in",
+                flow: None,
+                a: origin.idx as u64,
+                b: accepted,
+            });
             let me = self.maint.chord.me();
             self.send_reliable(ctx, origin.idx, HyperMsg::MigrateAck { me, acks });
         }
@@ -349,7 +368,7 @@ impl HyperSubNode {
     /// one surrogate subscription pointing at the acceptor.
     pub(crate) fn handle_migrate_ack(
         &mut self,
-        _ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
         from: usize,
         acceptor: Peer,
         acks: Vec<MigAck>,
@@ -388,6 +407,18 @@ impl HyperSubNode {
                 }
             }
             self.lb.migrated_out += items.len() as u64;
+            ctx.world
+                .metrics
+                .proto
+                .migrated_subs
+                .add(ctx.me, items.len() as u64);
+            let moved = items.len() as u64;
+            ctx.trace(|| ProtoEvent {
+                kind: "lb.migrate_ack",
+                flow: None,
+                a: from as u64,
+                b: moved,
+            });
             if own_count > 0 {
                 // The acceptor's surrogate subscription: covers the
                 // migrated entries, points at the hosted repo. Its rect is

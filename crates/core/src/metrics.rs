@@ -36,11 +36,184 @@ pub struct DeliveryRecord {
     pub hops: u32,
 }
 
+/// A named per-node counter that grows on demand (the world does not know
+/// the network size up front). Index by simulator node index.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PerNodeCounter {
+    v: Vec<u64>,
+}
+
+impl PerNodeCounter {
+    /// Adds `k` to node `i`'s count.
+    #[inline]
+    pub fn add(&mut self, i: usize, k: u64) {
+        if i >= self.v.len() {
+            self.v.resize(i + 1, 0);
+        }
+        self.v[i] += k;
+    }
+
+    /// Increments node `i`'s count.
+    #[inline]
+    pub fn inc(&mut self, i: usize) {
+        self.add(i, 1);
+    }
+
+    /// Node `i`'s count (zero for never-touched nodes).
+    pub fn get(&self, i: usize) -> u64 {
+        self.v.get(i).copied().unwrap_or(0)
+    }
+
+    /// Sum over all nodes.
+    pub fn total(&self) -> u64 {
+        self.v.iter().sum()
+    }
+
+    /// The largest per-node count.
+    pub fn max(&self) -> u64 {
+        self.v.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Per-node counts, indexed by node (trailing untouched nodes absent).
+    pub fn per_node(&self) -> &[u64] {
+        &self.v
+    }
+}
+
+/// A log2-bucketed histogram of `u64` samples: bucket `i` counts samples
+/// whose value has bit length `i` (bucket 0 holds zeros). Cheap enough
+/// for the delivery hot path — one `leading_zeros` and two adds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[(64 - v.leading_zeros()) as usize] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket counts up to and including the last nonzero bucket; bucket
+    /// `i` covers values with bit length `i` (`[2^(i-1), 2^i)`; bucket 0
+    /// is exactly zero).
+    pub fn buckets(&self) -> &[u64] {
+        let last = self
+            .buckets
+            .iter()
+            .rposition(|&c| c != 0)
+            .map_or(0, |i| i + 1);
+        &self.buckets[..last]
+    }
+}
+
+/// Registry of named per-node/per-protocol counters and histograms — the
+/// observability extension of the paper's §5.1 cost metrics. Always on
+/// (plain counter arithmetic is far below simulation noise) and
+/// deliberately *outside* the run digest, so adding instrumentation can
+/// never disturb golden digests.
+#[derive(Debug, Clone, Default)]
+pub struct ProtoMetrics {
+    /// Retransmissions sent by the reliable layer (2nd+ transmissions).
+    pub retry_attempts: PerNodeCounter,
+    /// Reliable sends abandoned after exhausting their attempts.
+    pub retry_give_ups: PerNodeCounter,
+    /// Acks received for outstanding reliable sends.
+    pub acks: PerNodeCounter,
+    /// First-transmission-to-ack latency, in microseconds.
+    pub ack_latency_us: LogHistogram,
+    /// Delivery messages that split into per-hop forwards (Algorithm 5
+    /// phase 2 executions with a nonempty group set).
+    pub delivery_splits: PerNodeCounter,
+    /// Fan-out per delivery split: distinct next hops one message fed.
+    pub delivery_fanout: LogHistogram,
+    /// Rendezvous markers consumed (Algorithm 5's NULL-target matching).
+    pub rendezvous_matches: PerNodeCounter,
+    /// Repository entries stored by Algorithm 3 on this node.
+    pub sub_registers: PerNodeCounter,
+    /// Summary-filter subdivisions pushed to child zones (Algorithm 3
+    /// lines 4–9, counted per crossing).
+    pub chain_pushes: PerNodeCounter,
+    /// Load-balancing rounds in which this node offered migrations.
+    pub migration_rounds: PerNodeCounter,
+    /// Subscriptions migrated away after acceptor acknowledgment.
+    pub migrated_subs: PerNodeCounter,
+}
+
+impl ProtoMetrics {
+    /// All counters with their registry names, for export.
+    pub fn counters(&self) -> [(&'static str, &PerNodeCounter); 9] {
+        [
+            ("retry.attempts", &self.retry_attempts),
+            ("retry.give_ups", &self.retry_give_ups),
+            ("retry.acks", &self.acks),
+            ("delivery.splits", &self.delivery_splits),
+            ("delivery.rendezvous_matches", &self.rendezvous_matches),
+            ("install.sub_registers", &self.sub_registers),
+            ("install.chain_pushes", &self.chain_pushes),
+            ("lb.migration_rounds", &self.migration_rounds),
+            ("lb.migrated_subs", &self.migrated_subs),
+        ]
+    }
+
+    /// All histograms with their registry names, for export.
+    pub fn histograms(&self) -> [(&'static str, &LogHistogram); 2] {
+        [
+            ("retry.ack_latency_us", &self.ack_latency_us),
+            ("delivery.fanout", &self.delivery_fanout),
+        ]
+    }
+}
+
 /// Mutable metric sink living in the simulation world.
 #[derive(Debug, Default)]
 pub struct Metrics {
     publishes: HashMap<u64, PublishRecord>,
     deliveries: Vec<DeliveryRecord>,
+    /// Protocol counters and histograms (see [`ProtoMetrics`]).
+    pub proto: ProtoMetrics,
 }
 
 impl Metrics {
@@ -201,5 +374,49 @@ mod tests {
         let mut m = Metrics::default();
         m.record_publish(1, SimTime::ZERO, 0, 0);
         m.record_publish(1, SimTime::ZERO, 0, 0);
+    }
+
+    #[test]
+    fn per_node_counter_grows_on_demand() {
+        let mut c = PerNodeCounter::default();
+        c.inc(5);
+        c.add(2, 3);
+        c.inc(5);
+        assert_eq!(c.get(5), 2);
+        assert_eq!(c.get(2), 3);
+        assert_eq!(c.get(100), 0, "untouched nodes read zero");
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.max(), 3);
+    }
+
+    #[test]
+    fn log_histogram_buckets_by_bit_length() {
+        let mut h = LogHistogram::default();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1010);
+        assert_eq!(h.max(), 1000);
+        // 0 → bucket 0; 1 → 1; 2,3 → 2; 4 → 3; 1000 (10 bits) → 10.
+        let b = h.buckets();
+        assert_eq!(b[0], 1);
+        assert_eq!(b[1], 1);
+        assert_eq!(b[2], 2);
+        assert_eq!(b[3], 1);
+        assert_eq!(b[10], 1);
+        assert_eq!(b.len(), 11, "trailing zero buckets are trimmed");
+        assert!((h.mean() - 1010.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proto_metrics_export_names_are_unique() {
+        let p = ProtoMetrics::default();
+        let mut names: Vec<&str> = p.counters().iter().map(|&(n, _)| n).collect();
+        names.extend(p.histograms().iter().map(|&(n, _)| n));
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total);
     }
 }

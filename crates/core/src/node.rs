@@ -267,7 +267,7 @@ impl Node<HyperMsg, HyperWorld> for HyperSubNode {
                 }
             }
             HyperMsg::Reliable { token, inner } => self.handle_reliable(ctx, from, token, *inner),
-            HyperMsg::Ack { token } => self.handle_ack(token),
+            HyperMsg::Ack { token } => self.handle_ack(ctx, token),
         }
     }
 

@@ -1,0 +1,697 @@
+//! Run reports: a serializable summary of one simulation run.
+//!
+//! A [`Report`] bundles everything needed to compare two runs offline:
+//! network size, simulated time, the run digest (the same FNV-1a digest
+//! the golden tests pin), per-event delivery aggregates, network
+//! counters, the [`ProtoMetrics`](crate::metrics::ProtoMetrics) registry,
+//! and — when a flight recorder was installed — the trace summary.
+//!
+//! The vendored `serde` shim is a no-op marker-trait stand-in, so JSON is
+//! hand-rolled: [`Report::to_json`] emits a stable, human-diffable
+//! document and [`Report::from_json`] parses it back with a minimal
+//! recursive-descent parser. The digest is serialized as a hex *string*
+//! (`"0x…"`) because u64 exceeds the f64-safe integer range of JSON
+//! numbers.
+
+use crate::sim::Network;
+
+/// Aggregate delivery outcome over all published events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventSummary {
+    /// Events published.
+    pub published: u64,
+    /// Ground-truth expected deliveries, summed over events.
+    pub expected: u64,
+    /// Distinct deliveries actually made, summed over events.
+    pub delivered: u64,
+    /// Duplicate deliveries observed (should be 0).
+    pub duplicates: u64,
+    /// Max hops over all deliveries.
+    pub max_hops: u64,
+    /// Max delivery latency over all events, in microseconds.
+    pub max_latency_us: u64,
+}
+
+/// Network-level totals (from `hypersub_simnet::NetStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetSummary {
+    /// Messages sent.
+    pub total_msgs: u64,
+    /// Bytes sent.
+    pub total_bytes: u64,
+    /// Messages dropped at dead destinations.
+    pub dropped: u64,
+    /// Messages lost to probabilistic fault injection.
+    pub fault_dropped: u64,
+    /// Messages dropped by partitions.
+    pub partition_dropped: u64,
+    /// Duplicate copies injected by fault duplication.
+    pub duplicated: u64,
+}
+
+/// One exported counter: a total plus the hottest node's share.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSummary {
+    /// Sum over all nodes.
+    pub total: u64,
+    /// Largest single-node count.
+    pub max_node: u64,
+}
+
+/// One exported histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Log2 bucket counts (trailing zeros trimmed).
+    pub buckets: Vec<u64>,
+}
+
+/// Flight-recorder summary, present when recording was enabled.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Ring-buffer capacity.
+    pub capacity: u64,
+    /// Events recorded over the run (including evicted ones).
+    pub recorded: u64,
+    /// Events evicted by the ring bound.
+    pub evicted: u64,
+    /// Retained-event counts per kind, sorted by kind.
+    pub kinds: Vec<(String, u64)>,
+}
+
+/// A serializable summary of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// Number of nodes.
+    pub nodes: u64,
+    /// Final simulated time, in microseconds.
+    pub time_us: u64,
+    /// Simulator events processed.
+    pub steps: u64,
+    /// The run digest (delivery trace + network counters).
+    pub digest: u64,
+    /// Delivery aggregates.
+    pub events: EventSummary,
+    /// Network totals.
+    pub net: NetSummary,
+    /// Named protocol counters, in registry order.
+    pub counters: Vec<(String, CounterSummary)>,
+    /// Named protocol histograms, in registry order.
+    pub histograms: Vec<(String, HistSummary)>,
+    /// Trace summary when a flight recorder was installed.
+    pub trace: Option<TraceSummary>,
+}
+
+impl Network {
+    /// Snapshots this run into a [`Report`].
+    pub fn report(&self) -> Report {
+        let stats = self.event_stats();
+        let events = EventSummary {
+            published: stats.len() as u64,
+            expected: stats.iter().map(|s| s.expected as u64).sum(),
+            delivered: stats.iter().map(|s| s.delivered as u64).sum(),
+            duplicates: stats.iter().map(|s| s.duplicates as u64).sum(),
+            max_hops: stats.iter().map(|s| s.max_hops as u64).max().unwrap_or(0),
+            max_latency_us: stats
+                .iter()
+                .map(|s| s.max_latency.as_micros())
+                .max()
+                .unwrap_or(0),
+        };
+        let n = self.net();
+        let net = NetSummary {
+            total_msgs: n.total_msgs(),
+            total_bytes: n.total_bytes(),
+            dropped: n.dropped(),
+            fault_dropped: n.fault_dropped(),
+            partition_dropped: n.partition_dropped(),
+            duplicated: n.duplicated(),
+        };
+        let proto = &self.metrics().proto;
+        let counters = proto
+            .counters()
+            .iter()
+            .map(|&(name, c)| {
+                (
+                    name.to_string(),
+                    CounterSummary {
+                        total: c.total(),
+                        max_node: c.max(),
+                    },
+                )
+            })
+            .collect();
+        let histograms = proto
+            .histograms()
+            .iter()
+            .map(|&(name, h)| {
+                (
+                    name.to_string(),
+                    HistSummary {
+                        count: h.count(),
+                        sum: h.sum(),
+                        max: h.max(),
+                        buckets: h.buckets().to_vec(),
+                    },
+                )
+            })
+            .collect();
+        let trace = self.recorder().map(|r| TraceSummary {
+            capacity: r.capacity() as u64,
+            recorded: r.recorded(),
+            evicted: r.evicted(),
+            kinds: r
+                .kind_counts()
+                .into_iter()
+                .map(|(k, c)| (k.to_string(), c))
+                .collect(),
+        });
+        Report {
+            nodes: self.len() as u64,
+            time_us: self.time().as_micros(),
+            steps: self.steps(),
+            digest: self.run_digest(),
+            events,
+            net,
+            counters,
+            histograms,
+            trace,
+        }
+    }
+}
+
+fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Report {
+    /// Serializes to a pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(2048);
+        o.push_str("{\n");
+        o.push_str("  \"version\": 1,\n");
+        o.push_str(&format!("  \"nodes\": {},\n", self.nodes));
+        o.push_str(&format!("  \"time_us\": {},\n", self.time_us));
+        o.push_str(&format!("  \"steps\": {},\n", self.steps));
+        o.push_str(&format!("  \"digest\": \"{:#018x}\",\n", self.digest));
+        let e = &self.events;
+        o.push_str(&format!(
+            "  \"events\": {{\"published\": {}, \"expected\": {}, \"delivered\": {}, \
+             \"duplicates\": {}, \"max_hops\": {}, \"max_latency_us\": {}}},\n",
+            e.published, e.expected, e.delivered, e.duplicates, e.max_hops, e.max_latency_us
+        ));
+        let n = &self.net;
+        o.push_str(&format!(
+            "  \"net\": {{\"total_msgs\": {}, \"total_bytes\": {}, \"dropped\": {}, \
+             \"fault_dropped\": {}, \"partition_dropped\": {}, \"duplicated\": {}}},\n",
+            n.total_msgs,
+            n.total_bytes,
+            n.dropped,
+            n.fault_dropped,
+            n.partition_dropped,
+            n.duplicated
+        ));
+        o.push_str("  \"counters\": {");
+        for (i, (name, c)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                o.push_str(", ");
+            }
+            o.push_str("\n    ");
+            push_str(&mut o, name);
+            o.push_str(&format!(
+                ": {{\"total\": {}, \"max_node\": {}}}",
+                c.total, c.max_node
+            ));
+        }
+        o.push_str("\n  },\n");
+        o.push_str("  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                o.push_str(", ");
+            }
+            o.push_str("\n    ");
+            push_str(&mut o, name);
+            o.push_str(&format!(
+                ": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": [{}]}}",
+                h.count,
+                h.sum,
+                h.max,
+                h.buckets
+                    .iter()
+                    .map(|b| b.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        o.push_str("\n  },\n");
+        match &self.trace {
+            None => o.push_str("  \"trace\": null\n"),
+            Some(t) => {
+                o.push_str(&format!(
+                    "  \"trace\": {{\"capacity\": {}, \"recorded\": {}, \"evicted\": {}, \
+                     \"kinds\": {{",
+                    t.capacity, t.recorded, t.evicted
+                ));
+                for (i, (k, c)) in t.kinds.iter().enumerate() {
+                    if i > 0 {
+                        o.push_str(", ");
+                    }
+                    push_str(&mut o, k);
+                    o.push_str(&format!(": {c}"));
+                }
+                o.push_str("}}\n");
+            }
+        }
+        o.push('}');
+        o
+    }
+
+    /// Parses a document produced by [`Report::to_json`] (any JSON with
+    /// the same shape works — field order and whitespace are free).
+    ///
+    /// # Errors
+    /// A human-readable description of the first syntax or shape problem.
+    pub fn from_json(s: &str) -> Result<Report, String> {
+        let v = Json::parse(s)?;
+        let top = v.obj("report")?;
+        let events = {
+            let e = get(top, "events")?.obj("events")?;
+            EventSummary {
+                published: num(e, "published")?,
+                expected: num(e, "expected")?,
+                delivered: num(e, "delivered")?,
+                duplicates: num(e, "duplicates")?,
+                max_hops: num(e, "max_hops")?,
+                max_latency_us: num(e, "max_latency_us")?,
+            }
+        };
+        let net = {
+            let n = get(top, "net")?.obj("net")?;
+            NetSummary {
+                total_msgs: num(n, "total_msgs")?,
+                total_bytes: num(n, "total_bytes")?,
+                dropped: num(n, "dropped")?,
+                fault_dropped: num(n, "fault_dropped")?,
+                partition_dropped: num(n, "partition_dropped")?,
+                duplicated: num(n, "duplicated")?,
+            }
+        };
+        let counters = get(top, "counters")?
+            .obj("counters")?
+            .iter()
+            .map(|(name, v)| {
+                let c = v.obj(name)?;
+                Ok((
+                    name.clone(),
+                    CounterSummary {
+                        total: num(c, "total")?,
+                        max_node: num(c, "max_node")?,
+                    },
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let histograms = get(top, "histograms")?
+            .obj("histograms")?
+            .iter()
+            .map(|(name, v)| {
+                let h = v.obj(name)?;
+                Ok((
+                    name.clone(),
+                    HistSummary {
+                        count: num(h, "count")?,
+                        sum: num(h, "sum")?,
+                        max: num(h, "max")?,
+                        buckets: get(h, "buckets")?
+                            .arr("buckets")?
+                            .iter()
+                            .map(|b| b.num("bucket"))
+                            .collect::<Result<Vec<_>, String>>()?,
+                    },
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let trace = match get(top, "trace")? {
+            Json::Null => None,
+            v => {
+                let t = v.obj("trace")?;
+                Some(TraceSummary {
+                    capacity: num(t, "capacity")?,
+                    recorded: num(t, "recorded")?,
+                    evicted: num(t, "evicted")?,
+                    kinds: get(t, "kinds")?
+                        .obj("kinds")?
+                        .iter()
+                        .map(|(k, c)| Ok((k.clone(), c.num(k)?)))
+                        .collect::<Result<Vec<_>, String>>()?,
+                })
+            }
+        };
+        let digest_s = get(top, "digest")?.str("digest")?;
+        let digest = u64::from_str_radix(digest_s.trim_start_matches("0x"), 16)
+            .map_err(|e| format!("bad digest {digest_s:?}: {e}"))?;
+        Ok(Report {
+            nodes: num(top, "nodes")?,
+            time_us: num(top, "time_us")?,
+            steps: num(top, "steps")?,
+            digest,
+            events,
+            net,
+            counters,
+            histograms,
+            trace,
+        })
+    }
+}
+
+/// Minimal JSON value for [`Report::from_json`]. Objects keep insertion
+/// order (a `Vec` of pairs) so round-trips preserve registry ordering.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Num(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn num(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
+    get(obj, key)?.num(key)
+}
+
+impl Json {
+    fn obj(&self, what: &str) -> Result<&[(String, Json)], String> {
+        match self {
+            Json::Obj(o) => Ok(o),
+            other => Err(format!("{what}: expected object, got {other:?}")),
+        }
+    }
+
+    fn arr(&self, what: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(a) => Ok(a),
+            other => Err(format!("{what}: expected array, got {other:?}")),
+        }
+    }
+
+    fn num(&self, what: &str) -> Result<u64, String> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            other => Err(format!("{what}: expected number, got {other:?}")),
+        }
+    }
+
+    fn str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("{what}: expected string, got {other:?}")),
+        }
+    }
+
+    /// Recursive-descent parser over the subset of JSON reports use:
+    /// objects, arrays, strings (with the escapes `to_json` emits),
+    /// non-negative integers, and `null`.
+    fn parse(s: &str) -> Result<Json, String> {
+        let b = s.as_bytes();
+        let mut pos = 0;
+        let v = Self::value(b, &mut pos)?;
+        Self::ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {pos}", c as char))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        Self::ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => {
+                *pos += 1;
+                let mut o = Vec::new();
+                Self::ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Json::Obj(o));
+                }
+                loop {
+                    Self::ws(b, pos);
+                    let k = Self::string(b, pos)?;
+                    Self::ws(b, pos);
+                    Self::expect(b, pos, b':')?;
+                    o.push((k, Self::value(b, pos)?));
+                    Self::ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Json::Obj(o));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut a = Vec::new();
+                Self::ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Json::Arr(a));
+                }
+                loop {
+                    a.push(Self::value(b, pos)?);
+                    Self::ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Json::Arr(a));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Json::Str(Self::string(b, pos)?)),
+            Some(b'n') => {
+                if b[*pos..].starts_with(b"null") {
+                    *pos += 4;
+                    Ok(Json::Null)
+                } else {
+                    Err(format!("bad literal at byte {pos}"))
+                }
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let start = *pos;
+                while *pos < b.len() && b[*pos].is_ascii_digit() {
+                    *pos += 1;
+                }
+                std::str::from_utf8(&b[start..*pos])
+                    .unwrap()
+                    .parse()
+                    .map(Json::Num)
+                    .map_err(|e| format!("bad number at byte {start}: {e}"))
+            }
+            _ => Err(format!("unexpected input at byte {pos}")),
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        Self::expect(b, pos, b'"')?;
+        let mut out = String::new();
+        while *pos < b.len() {
+            match b[*pos] {
+                b'"' => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or_else(|| format!("truncated \\u at byte {pos}"))?;
+                            let cp = u32::from_str_radix(std::str::from_utf8(hex).unwrap(), 16)
+                                .map_err(|e| format!("bad \\u escape at byte {pos}: {e}"))?;
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| format!("bad codepoint at byte {pos}"))?,
+                            );
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {pos}")),
+                    }
+                    *pos += 1;
+                }
+                c => {
+                    // Multi-byte UTF-8 passes through untouched.
+                    let ch_len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    out.push_str(
+                        std::str::from_utf8(&b[*pos..*pos + ch_len])
+                            .map_err(|e| format!("bad utf8 at byte {pos}: {e}"))?,
+                    );
+                    *pos += ch_len;
+                }
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            nodes: 16,
+            time_us: 123_456,
+            steps: 789,
+            digest: 0xdead_beef_cafe_f00d,
+            events: EventSummary {
+                published: 10,
+                expected: 20,
+                delivered: 20,
+                duplicates: 0,
+                max_hops: 5,
+                max_latency_us: 91_000,
+            },
+            net: NetSummary {
+                total_msgs: 400,
+                total_bytes: 123_000,
+                dropped: 1,
+                fault_dropped: 2,
+                partition_dropped: 3,
+                duplicated: 4,
+            },
+            counters: vec![
+                (
+                    "retry.attempts".into(),
+                    CounterSummary {
+                        total: 7,
+                        max_node: 3,
+                    },
+                ),
+                (
+                    "lb.migrated_subs".into(),
+                    CounterSummary {
+                        total: 0,
+                        max_node: 0,
+                    },
+                ),
+            ],
+            histograms: vec![(
+                "delivery.fanout".into(),
+                HistSummary {
+                    count: 12,
+                    sum: 30,
+                    max: 6,
+                    buckets: vec![0, 4, 6, 2],
+                },
+            )],
+            trace: Some(TraceSummary {
+                capacity: 4096,
+                recorded: 5000,
+                evicted: 904,
+                kinds: vec![("net.deliver".into(), 2000), ("net.send".into(), 2096)],
+            }),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let r = sample();
+        let parsed = Report::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn json_round_trip_without_trace() {
+        let r = Report {
+            trace: None,
+            ..sample()
+        };
+        let parsed = Report::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+        assert!(r.to_json().contains("\"trace\": null"));
+    }
+
+    #[test]
+    fn digest_survives_as_hex_string() {
+        // 0xdead_beef_cafe_f00d > 2^53: a float round-trip would corrupt
+        // it, the hex-string encoding must not.
+        let r = sample();
+        assert!(r.to_json().contains("\"digest\": \"0xdeadbeefcafef00d\""));
+        assert_eq!(
+            Report::from_json(&r.to_json()).unwrap().digest,
+            0xdead_beef_cafe_f00d
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(Report::from_json("").is_err());
+        assert!(Report::from_json("{").is_err());
+        assert!(Report::from_json("{}").is_err(), "missing fields");
+        assert!(Report::from_json("{} garbage").is_err());
+        let truncated = &sample().to_json()[..100];
+        assert!(Report::from_json(truncated).is_err());
+    }
+
+    #[test]
+    fn escaped_names_round_trip() {
+        let mut r = sample();
+        r.counters.push((
+            "weird\"name\\with\nescapes".into(),
+            CounterSummary {
+                total: 1,
+                max_node: 1,
+            },
+        ));
+        assert_eq!(Report::from_json(&r.to_json()).unwrap(), r);
+    }
+}

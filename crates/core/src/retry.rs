@@ -28,7 +28,7 @@
 use crate::msg::HyperMsg;
 use crate::node::{DedupCache, HyperSubNode, TOKEN_RETRY_BASE};
 use crate::world::HyperWorld;
-use hypersub_simnet::{Ctx, FxHashMap, SimTime};
+use hypersub_simnet::{Ctx, FxHashMap, ProtoEvent, SimTime};
 
 /// One unacked reliable transmission.
 #[derive(Debug, Clone)]
@@ -39,6 +39,9 @@ pub struct PendingSend {
     pub msg: HyperMsg,
     /// Transmissions so far (first send counts).
     pub attempts: u32,
+    /// When the first transmission left (ack latency is measured from
+    /// here, spanning any retransmissions in between).
+    pub sent_at: SimTime,
 }
 
 /// Per-node reliable-transmission state.
@@ -92,6 +95,7 @@ impl HyperSubNode {
                 dst,
                 msg: msg.clone(),
                 attempts: 1,
+                sent_at: ctx.now,
             },
         );
         ctx.send(
@@ -121,8 +125,19 @@ impl HyperSubNode {
     }
 
     /// Sender side: the destination confirmed receipt.
-    pub(crate) fn handle_ack(&mut self, token: u64) {
-        self.rel.pending.remove(&token);
+    pub(crate) fn handle_ack(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>, token: u64) {
+        if let Some(p) = self.rel.pending.remove(&token) {
+            let latency = ctx.now.saturating_sub(p.sent_at);
+            let m = &mut ctx.world.metrics.proto;
+            m.acks.inc(ctx.me);
+            m.ack_latency_us.observe(latency.as_micros());
+            ctx.trace(|| ProtoEvent {
+                kind: "retry.ack",
+                flow: None,
+                a: token,
+                b: latency.as_micros(),
+            });
+        }
     }
 
     /// Retransmit-timer expiry for `token`: re-send with doubled timeout,
@@ -133,13 +148,21 @@ impl HyperSubNode {
         };
         if p.attempts >= self.cfg.retry.max_attempts {
             let p = self.rel.pending.remove(&token).expect("present");
-            self.give_up(p);
+            self.give_up(ctx, p, token);
             return;
         }
         p.attempts += 1;
         let exponent = p.attempts - 1; // 2nd transmission waits 2x base, ...
+        let attempts = p.attempts;
         let dst = p.dst;
         let msg = p.msg.clone();
+        ctx.world.metrics.proto.retry_attempts.inc(ctx.me);
+        ctx.trace(|| ProtoEvent {
+            kind: "retry.xmit",
+            flow: None,
+            a: token,
+            b: attempts as u64,
+        });
         ctx.send(
             dst,
             HyperMsg::Reliable {
@@ -158,7 +181,14 @@ impl HyperSubNode {
     }
 
     /// All retransmissions exhausted without an ack.
-    fn give_up(&mut self, p: PendingSend) {
+    fn give_up(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>, p: PendingSend, token: u64) {
+        ctx.world.metrics.proto.retry_give_ups.inc(ctx.me);
+        ctx.trace(|| ProtoEvent {
+            kind: "retry.give_up",
+            flow: None,
+            a: token,
+            b: p.attempts as u64,
+        });
         if let HyperMsg::Migrate { batches, .. } = &p.msg {
             // Abort the offer like a dead-acceptor abort: entries were not
             // removed yet (removal happens on MigrateAck), so clearing the

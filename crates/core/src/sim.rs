@@ -2,14 +2,17 @@
 //! publish events, collect metrics.
 
 use crate::config::SystemConfig;
-use crate::metrics::EventStats;
+use crate::error::{HyperSubError, Result};
+use crate::metrics::{DeliveryRecord, EventStats, Metrics};
 use crate::model::{Event, Registry, SchemeId, SubId, Subscription};
 use crate::msg::HyperMsg;
 use crate::node::{HyperSubNode, TOKEN_FIX_FINGERS, TOKEN_LB, TOKEN_PUBLISH_BASE, TOKEN_STABILIZE};
 use crate::world::HyperWorld;
 use hypersub_chord::builder::{build_ring, RingConfig};
 use hypersub_lph::Point;
-use hypersub_simnet::{KingLikeTopology, NetStats, Sim, SimTime, Topology, UniformTopology};
+use hypersub_simnet::{
+    FlightRecorder, KingLikeTopology, NetStats, Sim, SimTime, Topology, UniformTopology,
+};
 use std::sync::Arc;
 
 /// How to build the latency model.
@@ -34,7 +37,9 @@ impl std::fmt::Debug for TopologyKind {
     }
 }
 
-/// Parameters for [`Network::build`].
+/// Parameters for the deprecated [`Network::build`]. New code configures
+/// a network through [`Network::builder`] instead.
+#[deprecated(since = "0.2.0", note = "use Network::builder(nodes) instead")]
 #[derive(Debug, Clone)]
 pub struct NetworkParams {
     /// Number of nodes.
@@ -51,6 +56,7 @@ pub struct NetworkParams {
     pub seed: u64,
 }
 
+#[allow(deprecated)]
 impl Default for NetworkParams {
     fn default() -> Self {
         Self {
@@ -64,52 +70,192 @@ impl Default for NetworkParams {
     }
 }
 
+/// Fluent constructor for [`Network`], obtained from
+/// [`Network::builder`]. Every knob has the same default the old
+/// `NetworkParams::default()` had, so
+/// `Network::builder(n).build()?` is the minimal happy path:
+///
+/// ```
+/// use hypersub_core::prelude::*;
+///
+/// let net = Network::builder(8)
+///     .registry(Registry::new(Vec::new()))
+///     .latency(SimTime::from_millis(5))
+///     .seed(42)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(net.len(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    nodes: usize,
+    registry: Registry,
+    config: SystemConfig,
+    topology: TopologyKind,
+    ring: RingConfig,
+    seed: u64,
+    recorder_capacity: Option<usize>,
+}
+
+impl NetworkBuilder {
+    /// Scheme definitions the network serves.
+    pub fn registry(mut self, registry: Registry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// System configuration (zone parameters, load balancing, retries).
+    pub fn config(mut self, config: SystemConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Master seed (node ids, topology, simulator randomness).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Uniform topology with the given constant one-way latency.
+    pub fn latency(mut self, one_way: SimTime) -> Self {
+        self.topology = TopologyKind::Uniform(one_way);
+        self
+    }
+
+    /// Synthetic King-dataset-like topology with the given mean RTT.
+    pub fn king_like(mut self, mean_rtt: SimTime) -> Self {
+        self.topology = TopologyKind::KingLike(mean_rtt);
+        self
+    }
+
+    /// Explicit topology model (covers the custom-matrix case).
+    pub fn topology(mut self, topology: TopologyKind) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Chord ring construction parameters.
+    pub fn ring(mut self, ring: RingConfig) -> Self {
+        self.ring = ring;
+        self
+    }
+
+    /// Installs a flight recorder capturing the most recent `capacity`
+    /// trace events (see `hypersub_simnet::trace`). Off by default;
+    /// recording never changes run behavior.
+    pub fn flight_recorder(mut self, capacity: usize) -> Self {
+        self.recorder_capacity = Some(capacity);
+        self
+    }
+
+    /// Builds the stabilized network: topology, Chord ring (with PNS
+    /// fingers), one HyperSub node per slot. Load-balancing timers are
+    /// armed (staggered) when the config enables LB.
+    pub fn build(self) -> Result<Network> {
+        if self.nodes == 0 {
+            return Err(HyperSubError::InvalidConfig(
+                "network needs at least one node",
+            ));
+        }
+        if let TopologyKind::Custom(t) = &self.topology {
+            if t.len() != self.nodes {
+                return Err(HyperSubError::InvalidConfig(
+                    "custom topology size does not match node count",
+                ));
+            }
+        }
+        if self.recorder_capacity == Some(0) {
+            return Err(HyperSubError::InvalidConfig(
+                "flight recorder capacity must be positive",
+            ));
+        }
+        if self.config.lb.enabled && self.config.lb.period == SimTime::ZERO {
+            return Err(HyperSubError::InvalidConfig(
+                "load balancing requires a nonzero period",
+            ));
+        }
+        if self.config.retry.enabled && self.config.retry.max_attempts == 0 {
+            return Err(HyperSubError::InvalidConfig(
+                "retries require max_attempts >= 1",
+            ));
+        }
+        let topo: Arc<dyn Topology> = match &self.topology {
+            TopologyKind::Uniform(t) => Arc::new(UniformTopology::new(self.nodes, *t)),
+            TopologyKind::KingLike(rtt) => Arc::new(KingLikeTopology::generate(
+                self.nodes,
+                *rtt,
+                self.seed ^ 0x7090,
+            )),
+            TopologyKind::Custom(t) => Arc::clone(t),
+        };
+        let states = build_ring(&self.ring, topo.as_ref(), self.seed);
+        let registry = Arc::new(self.registry);
+        let cfg = Arc::new(self.config);
+        let nodes: Vec<HyperSubNode> = states
+            .into_iter()
+            .map(|st| HyperSubNode::new(st, Arc::clone(&registry), Arc::clone(&cfg)))
+            .collect();
+        let mut sim = Sim::new(topo, nodes, HyperWorld::default(), self.seed ^ 0x51ed);
+        if let Some(capacity) = self.recorder_capacity {
+            sim.enable_recording(capacity);
+        }
+        if cfg.lb.enabled {
+            // Stagger first ticks across the period so probe bursts do not
+            // synchronize.
+            let period_us = cfg.lb.period.as_micros().max(1);
+            for i in 0..self.nodes {
+                let offset = SimTime::from_micros((i as u64).wrapping_mul(7919) % period_us);
+                sim.schedule_timer(cfg.lb.period + offset, i, TOKEN_LB);
+            }
+        }
+        Ok(Network {
+            sim,
+            next_event_id: 1,
+            scheduled_events: 0,
+        })
+    }
+}
+
 /// A running HyperSub network.
 pub struct Network {
-    sim: Sim<HyperSubNode, HyperMsg, HyperWorld>,
+    pub(crate) sim: Sim<HyperSubNode, HyperMsg, HyperWorld>,
     next_event_id: u64,
     scheduled_events: u64,
 }
 
 impl Network {
-    /// Builds a stabilized network: topology, Chord ring (with PNS
-    /// fingers), one HyperSub node per slot. Load-balancing timers are
-    /// armed (staggered) when the config enables LB.
+    /// Starts building an `nodes`-node network; see [`NetworkBuilder`]
+    /// for the knobs. Defaults: empty registry, default
+    /// [`SystemConfig`], uniform 10 ms links, default ring, seed 0, no
+    /// flight recorder.
+    pub fn builder(nodes: usize) -> NetworkBuilder {
+        NetworkBuilder {
+            nodes,
+            registry: Registry::new(Vec::new()),
+            config: SystemConfig::default(),
+            topology: TopologyKind::Uniform(SimTime::from_millis(10)),
+            ring: RingConfig::default(),
+            seed: 0,
+            recorder_capacity: None,
+        }
+    }
+
+    /// Builds a network from the legacy parameter struct.
+    ///
+    /// # Panics
+    /// Panics on configurations [`NetworkBuilder::build`] rejects (the
+    /// historical behavior of this entry point).
+    #[deprecated(since = "0.2.0", note = "use Network::builder(nodes) instead")]
+    #[allow(deprecated)]
     pub fn build(params: NetworkParams) -> Self {
-        let topo: Arc<dyn Topology> = match &params.topology {
-            TopologyKind::Uniform(t) => Arc::new(UniformTopology::new(params.nodes, *t)),
-            TopologyKind::KingLike(rtt) => Arc::new(KingLikeTopology::generate(
-                params.nodes,
-                *rtt,
-                params.seed ^ 0x7090,
-            )),
-            TopologyKind::Custom(t) => {
-                assert_eq!(t.len(), params.nodes, "custom topology size mismatch");
-                Arc::clone(t)
-            }
-        };
-        let states = build_ring(&params.ring, topo.as_ref(), params.seed);
-        let registry = Arc::new(params.registry);
-        let cfg = Arc::new(params.config);
-        let nodes: Vec<HyperSubNode> = states
-            .into_iter()
-            .map(|st| HyperSubNode::new(st, Arc::clone(&registry), Arc::clone(&cfg)))
-            .collect();
-        let mut sim = Sim::new(topo, nodes, HyperWorld::default(), params.seed ^ 0x51ed);
-        if cfg.lb.enabled {
-            // Stagger first ticks across the period so probe bursts do not
-            // synchronize.
-            let period_us = cfg.lb.period.as_micros().max(1);
-            for i in 0..params.nodes {
-                let offset = SimTime::from_micros((i as u64).wrapping_mul(7919) % period_us);
-                sim.schedule_timer(cfg.lb.period + offset, i, TOKEN_LB);
-            }
-        }
-        Self {
-            sim,
-            next_event_id: 1,
-            scheduled_events: 0,
-        }
+        Network::builder(params.nodes)
+            .registry(params.registry)
+            .config(params.config)
+            .topology(params.topology)
+            .ring(params.ring)
+            .seed(params.seed)
+            .build()
+            .expect("invalid NetworkParams")
     }
 
     /// Installs a subscription from `node` (Algorithm 2 starts here).
@@ -120,46 +266,72 @@ impl Network {
     }
 
     /// Cancels a subscription previously returned by [`Network::subscribe`].
-    /// Returns `false` if it was not a live local subscription of `node`.
-    pub fn unsubscribe(&mut self, node: usize, subid: SubId) -> bool {
-        assert_eq!(
-            self.sim.node(node).chord().id,
-            subid.nid,
-            "subid does not belong to node {node}"
-        );
-        self.sim
-            .with_node_ctx(node, |n, ctx| n.unsubscribe(ctx, subid.iid))
+    ///
+    /// # Errors
+    /// [`HyperSubError::NodeOutOfRange`] for a bad index,
+    /// [`HyperSubError::DeadNode`] when `node` is failed,
+    /// [`HyperSubError::ForeignSubscription`] when `subid` belongs to a
+    /// different node, and [`HyperSubError::UnknownSubscription`] when it
+    /// is not (or no longer) a live local subscription.
+    pub fn unsubscribe(&mut self, node: usize, subid: SubId) -> Result<()> {
+        self.check_node(node)?;
+        if !self.sim.is_alive(node) {
+            return Err(HyperSubError::DeadNode { node });
+        }
+        if self.sim.node(node).chord().id != subid.nid {
+            return Err(HyperSubError::ForeignSubscription { node, sub: subid });
+        }
+        let live = self
+            .sim
+            .with_node_ctx(node, |n, ctx| n.unsubscribe(ctx, subid.iid));
+        if live {
+            Ok(())
+        } else {
+            Err(HyperSubError::UnknownSubscription { sub: subid })
+        }
     }
 
     /// Publishes an event from `node` right now. Returns the event id.
-    pub fn publish(&mut self, node: usize, scheme: SchemeId, point: Point) -> u64 {
+    ///
+    /// # Errors
+    /// [`HyperSubError::NodeOutOfRange`] for a bad index.
+    pub fn publish(&mut self, node: usize, scheme: SchemeId, point: Point) -> Result<u64> {
+        self.check_node(node)?;
         let id = self.alloc_event_id();
         self.sim.with_node_ctx(node, |n, ctx| {
             n.publish_event(ctx, scheme, Event { id, point })
         });
-        id
+        Ok(id)
     }
 
     /// Publishes through the deep-cloning reference path
     /// ([`HyperSubNode::publish_event_owned`]) instead of the shared-`Arc`
     /// fast path. Exists for differential tests proving the two paths are
     /// observationally identical.
-    pub fn publish_owned(&mut self, node: usize, scheme: SchemeId, point: Point) -> u64 {
+    ///
+    /// # Errors
+    /// [`HyperSubError::NodeOutOfRange`] for a bad index.
+    pub fn publish_owned(&mut self, node: usize, scheme: SchemeId, point: Point) -> Result<u64> {
+        self.check_node(node)?;
         let id = self.alloc_event_id();
         self.sim.with_node_ctx(node, |n, ctx| {
             n.publish_event_owned(ctx, scheme, Event { id, point })
         });
-        id
+        Ok(id)
     }
 
     /// Schedules an event publication at absolute simulated time `at`.
+    ///
+    /// # Errors
+    /// [`HyperSubError::NodeOutOfRange`] for a bad index.
     pub fn schedule_publish(
         &mut self,
         at: SimTime,
         node: usize,
         scheme: SchemeId,
         point: Point,
-    ) -> u64 {
+    ) -> Result<u64> {
+        self.check_node(node)?;
         let id = self.alloc_event_id();
         let idx = self.sim.world().script.len();
         self.sim
@@ -169,7 +341,15 @@ impl Network {
         self.sim
             .schedule_timer(at, node, TOKEN_PUBLISH_BASE + idx as u64);
         self.scheduled_events += 1;
-        id
+        Ok(id)
+    }
+
+    fn check_node(&self, node: usize) -> Result<()> {
+        let nodes = self.sim.len();
+        if node >= nodes {
+            return Err(HyperSubError::NodeOutOfRange { node, nodes });
+        }
+        Ok(())
     }
 
     fn alloc_event_id(&mut self) -> u64 {
@@ -292,18 +472,61 @@ impl Network {
     }
 
     /// Immutable access to a node.
-    pub fn node(&self, i: usize) -> &HyperSubNode {
-        self.sim.node(i)
+    ///
+    /// # Errors
+    /// [`HyperSubError::NodeOutOfRange`] for a bad index.
+    pub fn node(&self, i: usize) -> Result<&HyperSubNode> {
+        self.check_node(i)?;
+        Ok(self.sim.node(i))
     }
 
-    /// The underlying simulator (escape hatch for advanced scenarios).
-    pub fn sim_mut(&mut self) -> &mut Sim<HyperSubNode, HyperMsg, HyperWorld> {
-        &mut self.sim
+    /// All nodes, indexed by simulator slot.
+    pub fn nodes(&self) -> &[HyperSubNode] {
+        self.sim.nodes()
     }
 
-    /// The underlying simulator, immutably.
-    pub fn sim(&self) -> &Sim<HyperSubNode, HyperMsg, HyperWorld> {
-        &self.sim
+    /// The metric sink (publishes, deliveries, protocol counters).
+    pub fn metrics(&self) -> &Metrics {
+        &self.sim.world().metrics
+    }
+
+    /// Raw per-subscriber delivery records, in delivery order — the trace
+    /// the run digest is computed over.
+    pub fn deliveries(&self) -> &[DeliveryRecord] {
+        self.sim.world().metrics.deliveries()
+    }
+
+    /// The run digest over the delivery trace and network counters (see
+    /// [`crate::digest`]).
+    pub fn run_digest(&self) -> u64 {
+        crate::digest::run_digest(self.deliveries(), self.sim.net())
+    }
+
+    /// Simulator events processed so far.
+    pub fn steps(&self) -> u64 {
+        self.sim.steps()
+    }
+
+    /// The latency model.
+    pub fn topology(&self) -> &Arc<dyn Topology> {
+        self.sim.topology()
+    }
+
+    /// Installs a flight recorder mid-run (capturing the most recent
+    /// `capacity` events from here on). Usually set up front via
+    /// [`NetworkBuilder::flight_recorder`].
+    pub fn enable_recording(&mut self, capacity: usize) {
+        self.sim.enable_recording(capacity);
+    }
+
+    /// The installed flight recorder, if any.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.sim.recorder()
+    }
+
+    /// Removes the flight recorder, returning the captured trace.
+    pub fn disable_recording(&mut self) -> Option<FlightRecorder> {
+        self.sim.disable_recording()
     }
 }
 
@@ -321,12 +544,11 @@ mod tests {
     }
 
     fn small_net(nodes: usize, seed: u64) -> Network {
-        Network::build(NetworkParams {
-            nodes,
-            registry: registry(),
-            seed,
-            ..NetworkParams::default()
-        })
+        Network::builder(nodes)
+            .registry(registry())
+            .seed(seed)
+            .build()
+            .expect("valid test network")
     }
 
     #[test]
@@ -335,7 +557,7 @@ mod tests {
         let sub = Subscription::new(Rect::new(vec![10.0, 10.0], vec![20.0, 20.0]));
         let subid = net.subscribe(3, 0, sub);
         net.run_to_quiescence();
-        let ev = net.publish(5, 0, Point(vec![15.0, 15.0]));
+        let ev = net.publish(5, 0, Point(vec![15.0, 15.0])).unwrap();
         net.run_to_quiescence();
         let stats = net.event_stats();
         assert_eq!(stats.len(), 1);
@@ -355,7 +577,7 @@ mod tests {
             Subscription::new(Rect::new(vec![10.0, 10.0], vec![20.0, 20.0])),
         );
         net.run_to_quiescence();
-        net.publish(5, 0, Point(vec![90.0, 90.0]));
+        net.publish(5, 0, Point(vec![90.0, 90.0])).unwrap();
         net.run_to_quiescence();
         let stats = net.event_stats();
         assert_eq!(stats[0].expected, 0);
@@ -392,7 +614,7 @@ mod tests {
         .enumerate()
         {
             let expected = net.expected_matches(0, &point);
-            let ev = net.publish((j * 3) % 16, 0, point);
+            let ev = net.publish((j * 3) % 16, 0, point).unwrap();
             net.run_to_quiescence();
             let stats = net.event_stats();
             let s = stats.iter().find(|s| s.event == ev).unwrap();
@@ -416,7 +638,8 @@ mod tests {
             Subscription::new(Rect::new(vec![0.0, 0.0], vec![100.0, 100.0])),
         );
         net.run_to_quiescence();
-        net.schedule_publish(SimTime::from_secs(5), 2, 0, Point(vec![5.0, 5.0]));
+        net.schedule_publish(SimTime::from_secs(5), 2, 0, Point(vec![5.0, 5.0]))
+            .unwrap();
         net.run_to_quiescence();
         let stats = net.event_stats();
         assert_eq!(stats.len(), 1);
@@ -438,12 +661,16 @@ mod tests {
             Subscription::new(Rect::new(vec![0.0, 0.0], vec![100.0, 100.0])),
         );
         net.run_to_quiescence();
-        let e1 = net.publish(7, 0, Point(vec![50.0, 50.0]));
+        let e1 = net.publish(7, 0, Point(vec![50.0, 50.0])).unwrap();
         net.run_to_quiescence();
-        assert!(net.unsubscribe(5, cancel));
-        assert!(!net.unsubscribe(5, cancel), "double unsubscribe is a no-op");
+        assert_eq!(net.unsubscribe(5, cancel), Ok(()));
+        assert_eq!(
+            net.unsubscribe(5, cancel),
+            Err(HyperSubError::UnknownSubscription { sub: cancel }),
+            "double unsubscribe reports the dead id"
+        );
         net.run_to_quiescence();
-        let e2 = net.publish(7, 0, Point(vec![51.0, 51.0]));
+        let e2 = net.publish(7, 0, Point(vec![51.0, 51.0])).unwrap();
         net.run_to_quiescence();
         let stats = net.event_stats();
         let s1 = stats.iter().find(|s| s.event == e1).unwrap();
@@ -468,7 +695,8 @@ mod tests {
             }
             net.run_to_quiescence();
             for i in 0..6 {
-                net.publish(i, 0, Point(vec![i as f64 * 17.0 % 100.0, 50.0]));
+                net.publish(i, 0, Point(vec![i as f64 * 17.0 % 100.0, 50.0]))
+                    .unwrap();
             }
             net.run_to_quiescence();
             net.event_stats()
@@ -477,5 +705,116 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn builder_validates_configuration() {
+        assert_eq!(
+            Network::builder(0).build().err(),
+            Some(HyperSubError::InvalidConfig(
+                "network needs at least one node"
+            ))
+        );
+        assert_eq!(
+            Network::builder(4).flight_recorder(0).build().err(),
+            Some(HyperSubError::InvalidConfig(
+                "flight recorder capacity must be positive"
+            ))
+        );
+        let topo: Arc<dyn Topology> = Arc::new(UniformTopology::new(3, SimTime::from_millis(1)));
+        assert_eq!(
+            Network::builder(4)
+                .topology(TopologyKind::Custom(topo))
+                .build()
+                .err(),
+            Some(HyperSubError::InvalidConfig(
+                "custom topology size does not match node count"
+            ))
+        );
+    }
+
+    #[test]
+    fn out_of_range_operations_are_errors_not_panics() {
+        let mut net = small_net(4, 11);
+        assert_eq!(
+            net.node(4).err(),
+            Some(HyperSubError::NodeOutOfRange { node: 4, nodes: 4 })
+        );
+        assert_eq!(
+            net.publish(99, 0, Point(vec![1.0, 1.0])).err(),
+            Some(HyperSubError::NodeOutOfRange { node: 99, nodes: 4 })
+        );
+        assert_eq!(
+            net.schedule_publish(SimTime::from_secs(1), 4, 0, Point(vec![1.0, 1.0]))
+                .err(),
+            Some(HyperSubError::NodeOutOfRange { node: 4, nodes: 4 })
+        );
+        let sub = SubId { nid: 1, iid: 1 };
+        assert_eq!(
+            net.unsubscribe(7, sub).err(),
+            Some(HyperSubError::NodeOutOfRange { node: 7, nodes: 4 })
+        );
+    }
+
+    #[test]
+    fn unsubscribe_distinguishes_dead_node_and_foreign_sub() {
+        let mut net = small_net(6, 12);
+        let sub = net.subscribe(
+            2,
+            0,
+            Subscription::new(Rect::new(vec![0.0, 0.0], vec![10.0, 10.0])),
+        );
+        net.run_to_quiescence();
+        // Addressed to the wrong node: the id names node 2's ring id.
+        assert_eq!(
+            net.unsubscribe(3, sub),
+            Err(HyperSubError::ForeignSubscription { node: 3, sub })
+        );
+        net.fail(2);
+        assert_eq!(
+            net.unsubscribe(2, sub),
+            Err(HyperSubError::DeadNode { node: 2 })
+        );
+        net.revive(2);
+        assert_eq!(net.unsubscribe(2, sub), Ok(()));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_params_shim_still_builds_identically() {
+        let via_params = Network::build(NetworkParams {
+            nodes: 8,
+            registry: registry(),
+            seed: 77,
+            ..NetworkParams::default()
+        });
+        let via_builder = Network::builder(8)
+            .registry(registry())
+            .seed(77)
+            .build()
+            .unwrap();
+        assert_eq!(via_params.len(), via_builder.len());
+        for i in 0..8 {
+            assert_eq!(
+                via_params.node(i).unwrap().chord().id,
+                via_builder.node(i).unwrap().chord().id,
+                "shim and builder must derive the same ring"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_recorder_is_off_by_default_and_installable() {
+        let net = small_net(4, 13);
+        assert!(net.recorder().is_none(), "recording must be opt-in");
+        let mut net = Network::builder(4)
+            .registry(registry())
+            .flight_recorder(1 << 12)
+            .build()
+            .unwrap();
+        assert!(net.recorder().is_some());
+        net.run_to_quiescence();
+        let rec = net.disable_recording().unwrap();
+        assert_eq!(rec.capacity(), 1 << 12);
     }
 }

@@ -16,6 +16,7 @@ use crate::queue::{EventQueue, SimEvent};
 use crate::stats::NetStats;
 use crate::time::SimTime;
 use crate::topology::Topology;
+use crate::trace::{FlightRecorder, ProtoEvent, TraceEvent};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -68,6 +69,7 @@ pub struct Ctx<'a, M, W> {
     pub rng: &'a mut SmallRng,
     outbox: &'a mut Vec<(usize, M)>,
     timers: &'a mut Vec<(SimTime, u64)>,
+    recorder: Option<&'a mut FlightRecorder>,
 }
 
 impl<M, W> Ctx<'_, M, W> {
@@ -81,6 +83,23 @@ impl<M, W> Ctx<'_, M, W> {
     /// Arms a timer to fire on this node after `delay`.
     pub fn set_timer(&mut self, delay: SimTime, token: u64) {
         self.timers.push((delay, token));
+    }
+
+    /// True when a flight recorder is installed — lets protocols skip
+    /// expensive event construction entirely.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Records a protocol event if a flight recorder is installed. The
+    /// closure runs only when recording is on, so a disabled recorder
+    /// costs a single branch.
+    #[inline]
+    pub fn trace(&mut self, f: impl FnOnce() -> ProtoEvent) {
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.record(self.now, self.me, TraceEvent::Proto(f()));
+        }
     }
 }
 
@@ -98,6 +117,7 @@ pub struct Sim<N, M: Payload, W> {
     outbox: Vec<(usize, M)>,
     timers: Vec<(SimTime, u64)>,
     steps: u64,
+    recorder: Option<FlightRecorder>,
 }
 
 impl<N, M: Payload, W> Sim<N, M, W> {
@@ -125,7 +145,33 @@ impl<N, M: Payload, W> Sim<N, M, W> {
             outbox: Vec::new(),
             timers: Vec::new(),
             steps: 0,
+            recorder: None,
         }
+    }
+
+    /// Installs a flight recorder with the given ring-buffer capacity.
+    /// Replaces any previous recorder. Recording never affects behavior —
+    /// it only observes (see [`crate::trace`]).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn enable_recording(&mut self, capacity: usize) {
+        self.recorder = Some(FlightRecorder::new(capacity));
+    }
+
+    /// Removes the recorder, returning the captured trace.
+    pub fn disable_recording(&mut self) -> Option<FlightRecorder> {
+        self.recorder.take()
+    }
+
+    /// The installed flight recorder, if any.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Mutable access to the installed flight recorder, if any.
+    pub fn recorder_mut(&mut self) -> Option<&mut FlightRecorder> {
+        self.recorder.as_mut()
     }
 
     /// Number of nodes.
@@ -193,12 +239,18 @@ impl<N, M: Payload, W> Sim<N, M, W> {
     /// are dropped (and counted in [`NetStats::dropped`]).
     pub fn fail(&mut self, node: usize) {
         self.alive[node] = false;
+        if let Some(r) = self.recorder.as_mut() {
+            r.record(self.time, node, TraceEvent::NodeFail);
+        }
     }
 
     /// Brings a failed node back (state unchanged — protocols must re-join
     /// explicitly if they need fresh state).
     pub fn revive(&mut self, node: usize) {
         self.alive[node] = true;
+        if let Some(r) = self.recorder.as_mut() {
+            r.record(self.time, node, TraceEvent::NodeRevive);
+        }
     }
 
     /// Whether a node is up.
@@ -251,6 +303,7 @@ impl<N, M: Payload, W> Sim<N, M, W> {
             rng: &mut self.rng,
             outbox: &mut self.outbox,
             timers: &mut self.timers,
+            recorder: self.recorder.as_mut(),
         };
         let r = f(&mut self.nodes[i], &mut ctx);
         self.flush(i);
@@ -261,6 +314,17 @@ impl<N, M: Payload, W> Sim<N, M, W> {
         for (dst, msg) in self.outbox.drain(..) {
             let size = msg.wire_size();
             self.net.record_out(from, size, msg.flow());
+            if let Some(r) = self.recorder.as_mut() {
+                r.record(
+                    self.time,
+                    from,
+                    TraceEvent::MsgSend {
+                        dst,
+                        bytes: size,
+                        flow: msg.flow(),
+                    },
+                );
+            }
             // Self-sends never cross the network, so faults don't apply.
             let verdict = match &mut self.fault {
                 Some(fp) if dst != from => fp.judge(from, dst, self.time),
@@ -274,9 +338,29 @@ impl<N, M: Payload, W> Sim<N, M, W> {
                     // Silent loss: no SendFailed — recovery is on the
                     // protocol's ack/retry machinery.
                     self.net.record_fault_drop();
+                    if let Some(r) = self.recorder.as_mut() {
+                        r.record(
+                            self.time,
+                            from,
+                            TraceEvent::MsgDropLoss {
+                                dst,
+                                flow: msg.flow(),
+                            },
+                        );
+                    }
                 }
                 Verdict::DropPartition => {
                     self.net.record_partition_drop();
+                    if let Some(r) = self.recorder.as_mut() {
+                        r.record(
+                            self.time,
+                            from,
+                            TraceEvent::MsgDropPartition {
+                                dst,
+                                flow: msg.flow(),
+                            },
+                        );
+                    }
                 }
                 Verdict::Deliver { extra, dup_extra } => {
                     // Latency is only needed (and only paid for) when the
@@ -286,6 +370,16 @@ impl<N, M: Payload, W> Sim<N, M, W> {
                     let lat = self.topo.latency(from, dst);
                     if let Some(dup) = dup_extra {
                         self.net.record_duplicate();
+                        if let Some(r) = self.recorder.as_mut() {
+                            r.record(
+                                self.time,
+                                from,
+                                TraceEvent::MsgDuplicate {
+                                    dst,
+                                    flow: msg.flow(),
+                                },
+                            );
+                        }
                         self.queue.schedule(
                             self.time + lat + dup,
                             SimEvent::Deliver {
@@ -327,6 +421,16 @@ impl<N, M: Payload, W> Sim<N, M, W> {
             SimEvent::Deliver { src, dst, msg } => {
                 if !self.alive[dst] {
                     self.net.record_drop();
+                    if let Some(r) = self.recorder.as_mut() {
+                        r.record(
+                            self.time,
+                            dst,
+                            TraceEvent::MsgDropDead {
+                                src,
+                                flow: msg.flow(),
+                            },
+                        );
+                    }
                     // Fail-stop notification back to a live sender.
                     if self.alive[src] && src != dst {
                         let back = self.topo.latency(dst, src);
@@ -342,6 +446,17 @@ impl<N, M: Payload, W> Sim<N, M, W> {
                     return true;
                 }
                 self.net.record_in(dst, msg.wire_size());
+                if let Some(r) = self.recorder.as_mut() {
+                    r.record(
+                        at,
+                        dst,
+                        TraceEvent::MsgDeliver {
+                            src,
+                            bytes: msg.wire_size(),
+                            flow: msg.flow(),
+                        },
+                    );
+                }
                 let mut ctx = Ctx {
                     me: dst,
                     now: at,
@@ -349,6 +464,7 @@ impl<N, M: Payload, W> Sim<N, M, W> {
                     rng: &mut self.rng,
                     outbox: &mut self.outbox,
                     timers: &mut self.timers,
+                    recorder: self.recorder.as_mut(),
                 };
                 self.nodes[dst].on_message(&mut ctx, src, msg);
                 self.flush(dst);
@@ -364,6 +480,7 @@ impl<N, M: Payload, W> Sim<N, M, W> {
                     rng: &mut self.rng,
                     outbox: &mut self.outbox,
                     timers: &mut self.timers,
+                    recorder: self.recorder.as_mut(),
                 };
                 self.nodes[node].on_timer(&mut ctx, token);
                 self.flush(node);
@@ -372,6 +489,16 @@ impl<N, M: Payload, W> Sim<N, M, W> {
                 if !self.alive[origin] {
                     return true;
                 }
+                if let Some(r) = self.recorder.as_mut() {
+                    r.record(
+                        at,
+                        origin,
+                        TraceEvent::SendFailed {
+                            dst,
+                            flow: msg.flow(),
+                        },
+                    );
+                }
                 let mut ctx = Ctx {
                     me: origin,
                     now: at,
@@ -379,6 +506,7 @@ impl<N, M: Payload, W> Sim<N, M, W> {
                     rng: &mut self.rng,
                     outbox: &mut self.outbox,
                     timers: &mut self.timers,
+                    recorder: self.recorder.as_mut(),
                 };
                 self.nodes[origin].on_send_failed(&mut ctx, dst, msg);
                 self.flush(origin);
@@ -649,6 +777,65 @@ mod tests {
         let (d1, n1) = run();
         assert_eq!(d0, d1);
         assert_eq!(n0, n1);
+    }
+
+    #[test]
+    fn recording_captures_net_events_without_changing_the_run() {
+        let run = |record: bool| {
+            let mut sim = ring();
+            if record {
+                sim.enable_recording(1 << 10);
+            }
+            sim.fail(3);
+            sim.schedule_timer(SimTime::ZERO, 0, 3);
+            sim.run(100);
+            let counts = sim.recorder().map(|r| r.kind_counts()).unwrap_or_default();
+            let (_, w, net) = sim.into_parts();
+            (w.delivered, net, counts)
+        };
+        let (d0, n0, _) = run(false);
+        let (d1, n1, counts) = run(true);
+        // Digest-neutrality at the engine level: identical deliveries and
+        // network counters with and without the recorder.
+        assert_eq!(d0, d1);
+        assert_eq!(n0, n1);
+        // Hops 0->1->2->3: 3 sends, 2 deliveries, one dead-drop at 3, one
+        // fail-stop notification back to 2, plus the node-fail marker.
+        let get = |k: &str| counts.iter().find(|(c, _)| *c == k).map_or(0, |&(_, n)| n);
+        assert_eq!(get("net.send"), 3);
+        assert_eq!(get("net.deliver"), 2);
+        assert_eq!(get("net.drop_dead"), 1);
+        assert_eq!(get("net.send_failed"), 1);
+        assert_eq!(get("net.node_fail"), 1);
+    }
+
+    #[test]
+    fn ctx_trace_reaches_the_recorder() {
+        use crate::trace::{ProtoEvent, TraceEvent};
+        let mut sim = ring();
+        sim.enable_recording(16);
+        sim.with_node_ctx(1, |_, ctx| {
+            assert!(ctx.tracing());
+            ctx.trace(|| ProtoEvent {
+                kind: "test.mark",
+                flow: Some(7),
+                a: 1,
+                b: 2,
+            });
+        });
+        let rec = sim.recorder().unwrap();
+        let marks: Vec<_> = rec
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::Proto(p) if p.kind == "test.mark"))
+            .collect();
+        assert_eq!(marks.len(), 1);
+        assert_eq!(marks[0].node, 1);
+        // Without a recorder the closure must not run.
+        let mut sim2 = ring();
+        sim2.with_node_ctx(0, |_, ctx| {
+            assert!(!ctx.tracing());
+            ctx.trace(|| unreachable!("trace closure ran with recording off"));
+        });
     }
 
     #[test]

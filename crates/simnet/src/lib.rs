@@ -26,6 +26,7 @@ pub mod queue;
 pub mod stats;
 pub mod time;
 pub mod topology;
+pub mod trace;
 
 pub use engine::{Ctx, Node, Payload, Sim};
 pub use fault::{FaultPlane, LinkPolicy, Verdict};
@@ -33,3 +34,4 @@ pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use stats::NetStats;
 pub use time::SimTime;
 pub use topology::{KingLikeTopology, MatrixTopology, Topology, UniformTopology};
+pub use trace::{FlightRecorder, ProtoEvent, TraceEvent, TraceRecord};

@@ -19,13 +19,12 @@ fn main() {
         .build(0);
     let registry = Registry::new(vec![scheme.clone()]);
     let nodes = 128;
-    let mut net = Network::build(NetworkParams {
-        nodes,
-        registry,
-        config: SystemConfig::default(),
-        seed: 77,
-        ..NetworkParams::default()
-    });
+    let mut net = Network::builder(nodes)
+        .registry(registry)
+        .config(SystemConfig::default())
+        .seed(77)
+        .build()
+        .expect("valid configuration");
     net.enable_maintenance();
     let mut rng = SmallRng::seed_from_u64(13);
 
@@ -43,7 +42,8 @@ fn main() {
     for _ in 0..200 {
         let node = rng.gen_range(0..64);
         let point = Point(vec![rng.gen_range(0.0..100.0), rng.gen()]);
-        net.schedule_publish(t, node, 0, point);
+        net.schedule_publish(t, node, 0, point)
+            .expect("publisher index in range");
         t += SimTime::from_millis(50);
     }
     net.run_until(t + SimTime::from_secs(5));
@@ -78,7 +78,8 @@ fn main() {
     for _ in 0..200 {
         let node = rng.gen_range(0..64);
         let point = Point(vec![rng.gen_range(0.0..100.0), rng.gen()]);
-        net.schedule_publish(t, node, 0, point);
+        net.schedule_publish(t, node, 0, point)
+            .expect("publisher index in range");
         t += SimTime::from_millis(50);
     }
     net.run_until(t + SimTime::from_secs(10));

@@ -13,13 +13,12 @@ fn main() {
         .attribute("price", 0.0, 100.0)
         .attribute("volume", 0.0, 100.0)
         .build(0);
-    let mut net = Network::build(NetworkParams {
-        nodes: 64,
-        registry: Registry::new(vec![scheme]),
-        config: SystemConfig::default().with_retries(),
-        seed: 7,
-        ..NetworkParams::default()
-    });
+    let mut net = Network::builder(64)
+        .registry(Registry::new(vec![scheme]))
+        .config(SystemConfig::default().with_retries())
+        .seed(7)
+        .build()
+        .expect("valid configuration");
 
     // Every node subscribes to a staggered price band.
     for i in 0..64 {
@@ -50,7 +49,8 @@ fn main() {
             (p * 5) % 64,
             0,
             Point(vec![((p * 17) % 100) as f64, 50.0]),
-        );
+        )
+        .expect("publisher index in range");
     }
     net.run_until(t0 + SimTime::from_secs(30));
     let (del, exp): (usize, usize) = net
@@ -70,6 +70,7 @@ fn main() {
                 0,
                 Point(vec![((p * 13 + 7) % 100) as f64, 50.0]),
             )
+            .unwrap()
         })
         .collect();
     net.run_to_quiescence();

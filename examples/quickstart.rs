@@ -16,13 +16,12 @@ fn main() {
 
     // 2. Build a 32-node network: Chord ring with PNS fingers over a
     //    King-like Internet latency model.
-    let mut net = Network::build(NetworkParams {
-        nodes: 32,
-        registry,
-        config: SystemConfig::default(),
-        seed: 42,
-        ..NetworkParams::default()
-    });
+    let mut net = Network::builder(32)
+        .registry(registry)
+        .config(SystemConfig::default())
+        .seed(42)
+        .build()
+        .expect("valid configuration");
 
     // 3. Subscribe: node 7 wants price in [100, 200] with volume >= 50k.
     let subid = net.subscribe(
@@ -41,7 +40,7 @@ fn main() {
 
     // 4. Publish: node 3 publishes a trade at (price 155, volume 60k) —
     //    it matches both subscriptions.
-    let ev = net.publish(3, 0, Point(vec![155.0, 60_000.0]));
+    let ev = net.publish(3, 0, Point(vec![155.0, 60_000.0])).unwrap();
     net.run_to_quiescence();
 
     // 5. Inspect per-event statistics.

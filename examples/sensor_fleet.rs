@@ -32,13 +32,12 @@ fn main() {
     let registry = Registry::new(vec![telemetry.clone(), alerts.clone()]);
 
     let nodes = 512;
-    let mut net = Network::build(NetworkParams {
-        nodes,
-        registry,
-        config: SystemConfig::default().with_lb(),
-        seed: 2024,
-        ..NetworkParams::default()
-    });
+    let mut net = Network::builder(nodes)
+        .registry(registry)
+        .config(SystemConfig::default().with_lb())
+        .seed(2024)
+        .build()
+        .expect("valid configuration");
     let mut rng = SmallRng::seed_from_u64(5);
 
     // Operators watch their region's telemetry; most watch region ~20
@@ -80,11 +79,13 @@ fn main() {
             rng.gen_range(950.0..1050.0),
             rng.gen_range(5.0..100.0),
         ]);
-        net.schedule_publish(t, node, 0, point);
+        net.schedule_publish(t, node, 0, point)
+            .expect("publisher index in range");
         // Occasional alert.
         if rng.gen_bool(0.05) {
             let alert = Point(vec![rng.gen_range(0.0..10.0), region]);
-            net.schedule_publish(t, node, 1, alert);
+            net.schedule_publish(t, node, 1, alert)
+                .expect("publisher index in range");
         }
         t += SimTime::from_millis(rng.gen_range(20..120));
     }
@@ -97,7 +98,7 @@ fn main() {
         v.sort_unstable_by(|a, b| b.cmp(a));
         v
     };
-    let migrated: u64 = (0..nodes).map(|i| net.node(i).lb.migrated_out).sum();
+    let migrated: u64 = net.nodes().iter().map(|n| n.lb.migrated_out).sum();
     let mean = loads.iter().sum::<u64>() as f64 / nodes as f64;
     println!("events: {} ({} telemetry+alerts)", stats.len(), stats.len());
     println!(

@@ -24,13 +24,12 @@ fn main() {
         .build(0);
     let registry = Registry::new(vec![scheme.clone()]);
     let nodes = 256;
-    let mut net = Network::build(NetworkParams {
-        nodes,
-        registry,
-        config: SystemConfig::default(),
-        seed: 7,
-        ..NetworkParams::default()
-    });
+    let mut net = Network::builder(nodes)
+        .registry(registry)
+        .config(SystemConfig::default())
+        .seed(7)
+        .build()
+        .expect("valid configuration");
     let mut rng = SmallRng::seed_from_u64(99);
 
     // Traders: sector watchers, bargain hunters, crash alarms.
@@ -70,7 +69,10 @@ fn main() {
             rng.gen_range(0.0..1_000_000.0),
         ]);
         let node = rng.gen_range(0..nodes);
-        published.push(net.schedule_publish(t, node, 0, point));
+        published.push(
+            net.schedule_publish(t, node, 0, point)
+                .expect("publisher index in range"),
+        );
         t += SimTime::from_millis(rng.gen_range(10..100));
     }
     net.run_to_quiescence();

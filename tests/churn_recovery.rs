@@ -34,7 +34,7 @@ fn delivery_recovers_after_failures_with_refresh() {
     for _ in 0..80 {
         let node = rng.gen_range(0..32);
         let p = Point(vec![rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)]);
-        net.schedule_publish(t, node, 0, p);
+        net.schedule_publish(t, node, 0, p).unwrap();
         t += SimTime::from_millis(80);
     }
     net.run_until(t + SimTime::from_secs(20));
@@ -75,7 +75,7 @@ fn failed_rendezvous_successor_takes_over() {
     let before = net.event_stats().len();
     for _ in 0..40 {
         let p = Point(vec![rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)]);
-        net.publish(rng.gen_range(0..8), 0, p);
+        net.publish(rng.gen_range(0..8), 0, p).unwrap();
         net.run_until(net.time() + SimTime::from_secs(30));
     }
     let all = net.event_stats();
@@ -103,7 +103,7 @@ fn messages_to_dead_nodes_are_counted_and_retried() {
     let mut rng = SmallRng::seed_from_u64(6);
     for _ in 0..30 {
         let p = Point(vec![rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)]);
-        net.publish(rng.gen_range(1..32), 0, p);
+        net.publish(rng.gen_range(1..32), 0, p).unwrap();
     }
     net.run_until(net.time() + SimTime::from_secs(60));
     let all = net.event_stats();
@@ -119,7 +119,7 @@ fn messages_to_dead_nodes_are_counted_and_retried() {
     let before2 = net.event_stats().len();
     for _ in 0..30 {
         let p = Point(vec![rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)]);
-        net.publish(rng.gen_range(1..32), 0, p);
+        net.publish(rng.gen_range(1..32), 0, p).unwrap();
     }
     net.run_until(net.time() + SimTime::from_secs(60));
     let all = net.event_stats();

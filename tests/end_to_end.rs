@@ -14,7 +14,7 @@ fn assert_exact_delivery(net: &mut Network, n_events: usize, seed: u64) {
     let nodes = net.len();
     for _ in 0..n_events {
         let point = Point(vec![rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)]);
-        net.publish(rng.gen_range(0..nodes), 0, point);
+        net.publish(rng.gen_range(0..nodes), 0, point).unwrap();
     }
     net.run_to_quiescence();
     for s in net.event_stats() {
@@ -96,7 +96,7 @@ fn boundary_events_and_degenerate_subscriptions() {
         Point(vec![25.0, 75.0]),
         Point(vec![50.0, 100.0]),
     ] {
-        let ev = net.publish(5, 0, point.clone());
+        let ev = net.publish(5, 0, point.clone()).unwrap();
         net.run_to_quiescence();
         let stats = net.event_stats();
         let s = stats.iter().find(|s| s.event == ev).unwrap();
@@ -116,13 +116,12 @@ fn multi_scheme_isolation() {
         .attribute("y", 0.0, 10.0)
         .attribute("z", 0.0, 10.0)
         .build(1);
-    let mut net = Network::build(NetworkParams {
-        nodes: 24,
-        registry: Registry::new(vec![a, b]),
-        config: SystemConfig::default(),
-        seed: 23,
-        ..NetworkParams::default()
-    });
+    let mut net = Network::builder(24)
+        .registry(Registry::new(vec![a, b]))
+        .config(SystemConfig::default())
+        .seed(23)
+        .build()
+        .expect("valid test network");
     // Identical numeric interests in both schemes.
     net.subscribe(1, 0, Subscription::new(Rect::new(vec![2.0], vec![4.0])));
     net.subscribe(
@@ -132,14 +131,14 @@ fn multi_scheme_isolation() {
     );
     net.run_to_quiescence();
     // Publish into scheme 0 only: scheme 1's subscriber must not fire.
-    let ev = net.publish(3, 0, Point(vec![3.0]));
+    let ev = net.publish(3, 0, Point(vec![3.0])).unwrap();
     net.run_to_quiescence();
     let stats = net.event_stats();
     let s = stats.iter().find(|s| s.event == ev).unwrap();
     assert_eq!(s.expected, 1);
     assert_eq!(s.delivered, 1);
     // And scheme 1 delivery works with 3 attributes (different dims).
-    let ev = net.publish(4, 1, Point(vec![3.0, 5.0, 5.0]));
+    let ev = net.publish(4, 1, Point(vec![3.0, 5.0, 5.0])).unwrap();
     net.run_to_quiescence();
     let stats = net.event_stats();
     let s = stats.iter().find(|s| s.event == ev).unwrap();
@@ -158,13 +157,12 @@ fn subschemes_deliver_exactly() {
         .subscheme(&[2, 3])
         .build(0);
     let space = scheme.space.clone();
-    let mut net = Network::build(NetworkParams {
-        nodes: 40,
-        registry: Registry::new(vec![scheme]),
-        config: SystemConfig::default(),
-        seed: 29,
-        ..NetworkParams::default()
-    });
+    let mut net = Network::builder(40)
+        .registry(Registry::new(vec![scheme]))
+        .config(SystemConfig::default())
+        .seed(29)
+        .build()
+        .expect("valid test network");
     let mut rng = SmallRng::seed_from_u64(3);
     for i in 0..100 {
         let node = i % 40;
@@ -182,7 +180,7 @@ fn subschemes_deliver_exactly() {
     let mut rng = SmallRng::seed_from_u64(4);
     for _ in 0..40 {
         let point = Point((0..4).map(|_| rng.gen_range(0.0..=100.0)).collect());
-        net.publish(rng.gen_range(0..40), 0, point);
+        net.publish(rng.gen_range(0..40), 0, point).unwrap();
     }
     net.run_to_quiescence();
     for s in net.event_stats() {
@@ -194,17 +192,18 @@ fn subschemes_deliver_exactly() {
 #[test]
 fn king_topology_latencies_accumulate() {
     let scheme = SchemeDef::builder("t").attribute("x", 0.0, 100.0).build(0);
-    let mut net = Network::build(NetworkParams {
-        nodes: 64,
-        registry: Registry::new(vec![scheme]),
-        config: SystemConfig::default(),
-        topology: hypersub_core::sim::TopologyKind::KingLike(SimTime::from_millis(180)),
-        seed: 31,
-        ..NetworkParams::default()
-    });
+    let mut net = Network::builder(64)
+        .registry(Registry::new(vec![scheme]))
+        .config(SystemConfig::default())
+        .topology(hypersub_core::sim::TopologyKind::KingLike(
+            SimTime::from_millis(180),
+        ))
+        .seed(31)
+        .build()
+        .expect("valid test network");
     net.subscribe(7, 0, Subscription::new(Rect::new(vec![0.0], vec![100.0])));
     net.run_to_quiescence();
-    let ev = net.publish(50, 0, Point(vec![42.0]));
+    let ev = net.publish(50, 0, Point(vec![42.0])).unwrap();
     net.run_to_quiescence();
     let stats = net.event_stats();
     let s = stats.iter().find(|s| s.event == ev).unwrap();

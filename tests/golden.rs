@@ -13,7 +13,6 @@
 //! (each failure prints the observed digest) and update the constant in
 //! the same commit that explains why.
 
-use hypersub_core::digest::run_digest;
 use hypersub_core::prelude::*;
 use hypersub_simnet::{FaultPlane, LinkPolicy};
 use hypersub_tests::test_network;
@@ -48,10 +47,10 @@ fn run_quick(
     for i in 0..events {
         let p4 = gen.event_point();
         let p = Point(vec![p4.0[0] / 100.0, p4.0[1] / 100.0]);
-        net.publish((i * 13) % nodes, 0, p);
+        net.publish((i * 13) % nodes, 0, p).unwrap();
         net.run_to_quiescence();
     }
-    let d = run_digest(net.sim().world().metrics.deliveries(), net.net());
+    let d = net.run_digest();
     println!("digest: {d:#018x}");
     d
 }

@@ -13,11 +13,10 @@ pub fn test_network(nodes: usize, seed: u64, config: SystemConfig) -> Network {
         .attribute("x", 0.0, 100.0)
         .attribute("y", 0.0, 100.0)
         .build(0);
-    Network::build(NetworkParams {
-        nodes,
-        registry: Registry::new(vec![scheme]),
-        config,
-        seed,
-        ..NetworkParams::default()
-    })
+    Network::builder(nodes)
+        .registry(Registry::new(vec![scheme]))
+        .config(config)
+        .seed(seed)
+        .build()
+        .expect("valid test network")
 }

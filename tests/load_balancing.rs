@@ -2,6 +2,7 @@
 //! rotation and dynamic subscription migration, including correctness of
 //! delivery through migrated state.
 
+use hypersub_core::advanced::SimAccess;
 use hypersub_core::prelude::*;
 use hypersub_tests::test_network;
 use rand::rngs::SmallRng;
@@ -34,7 +35,7 @@ fn migration_reduces_max_load_and_keeps_delivery_exact() {
     lb.run_until(lb.time() + SimTime::from_secs(300));
     let loads = lb.node_loads();
     let max_lb = loads.iter().copied().max().unwrap();
-    let migrated: u64 = (0..32).map(|i| lb.node(i).lb.migrated_out).sum();
+    let migrated: u64 = lb.nodes().iter().map(|n| n.lb.migrated_out).sum();
 
     assert!(migrated > 0, "skew must trigger migration");
     assert!(
@@ -58,7 +59,7 @@ fn migration_reduces_max_load_and_keeps_delivery_exact() {
             rng.gen_range(0.0..100.0)
         };
         let p = Point(vec![x, rng.gen_range(0.0..100.0)]);
-        lb.publish(rng.gen_range(0..32), 0, p);
+        lb.publish(rng.gen_range(0..32), 0, p).unwrap();
     }
     lb.run_until(lb.time() + SimTime::from_secs(120));
     for s in lb.event_stats() {
@@ -86,13 +87,12 @@ fn rotation_spreads_multi_scheme_roots() {
                 b.build(i as u32)
             })
             .collect();
-        Network::build(NetworkParams {
-            nodes: 32,
-            registry: Registry::new(schemes),
-            config: SystemConfig::default(),
-            seed: 55,
-            ..NetworkParams::default()
-        })
+        Network::builder(32)
+            .registry(Registry::new(schemes))
+            .config(SystemConfig::default())
+            .seed(55)
+            .build()
+            .expect("valid test network")
     };
     // Boundary-straddling subscriptions map to the (shallow) root-side
     // zones of each scheme.
@@ -127,12 +127,12 @@ fn high_capacity_node_tolerates_more_load() {
         if let Some(cap) = capacity {
             // Find the (single) hot surrogate and raise its capacity.
             let hot = (0..32)
-                .max_by_key(|&i| net.node(i).load())
+                .max_by_key(|&i| net.nodes()[i].load())
                 .expect("nonempty");
             net.sim_mut().node_mut(hot).capacity = cap;
         }
         net.run_until(net.time() + SimTime::from_secs(300));
-        (0..32).map(|i| net.node(i).lb.migrated_out).sum::<u64>()
+        net.nodes().iter().map(|n| n.lb.migrated_out).sum::<u64>()
     };
     let migrated_baseline = hot_node_and_migrated(None);
     let migrated_capped = hot_node_and_migrated(Some(100.0));
@@ -148,6 +148,50 @@ fn lb_disabled_never_migrates() {
     let mut net = test_network(24, 43, SystemConfig::default());
     skewed_subscribe(&mut net, 120, 3);
     net.run_until(net.time() + SimTime::from_secs(120));
-    let migrated: u64 = (0..24).map(|i| net.node(i).lb.migrated_out).sum();
+    let migrated: u64 = net.nodes().iter().map(|n| n.lb.migrated_out).sum();
     assert_eq!(migrated, 0);
+}
+
+/// Flight-recorder version of the convergence property: migration
+/// activity must die out after a bounded number of LB rounds, proven from
+/// the trace itself rather than from end-state counters.
+#[test]
+fn trace_shows_migration_converges_within_k_rounds() {
+    let mut net = test_network(32, 41, SystemConfig::default().with_lb());
+    net.enable_recording(1 << 20);
+    skewed_subscribe(&mut net, 300, 9);
+    // 30 LB periods (period = 30 s) — far more than convergence needs.
+    net.run_until(net.time() + SimTime::from_secs(900));
+
+    let rec = net.recorder().expect("recording enabled");
+    assert_eq!(rec.evicted(), 0, "trace must fit the ring buffer");
+    let times_of = |kind: &str| {
+        rec.iter()
+            .filter(|r| r.event.kind() == kind)
+            .map(|r| r.time)
+            .collect::<Vec<_>>()
+    };
+    let offers = times_of("lb.offer");
+    let acks = times_of("lb.migrate_ack");
+    assert!(!offers.is_empty(), "skew must trigger migration offers");
+    assert!(!acks.is_empty(), "offers must complete into acked handoffs");
+
+    // Convergence: the last migration activity happens within k = 9 LB
+    // periods of the first offer, even though 30 periods ran — the tail
+    // 20 rounds are provably silent.
+    let period = SystemConfig::default().with_lb().lb.period;
+    let first = *offers.first().unwrap();
+    let last = offers.iter().chain(acks.iter()).copied().max().unwrap();
+    let k = 9u64;
+    assert!(
+        last.saturating_sub(first) <= SimTime(period.0 * k),
+        "migration must converge within {k} LB rounds: first {first}, last {last}"
+    );
+
+    // The trace agrees with the metrics registry: every acked handoff in
+    // the trace is accounted by the migrated-subscriptions counter.
+    let migrated_metric = net.metrics().proto.migrated_subs.total();
+    let migrated_nodes: u64 = net.nodes().iter().map(|n| n.lb.migrated_out).sum();
+    assert!(migrated_metric > 0);
+    assert_eq!(migrated_metric, migrated_nodes);
 }

@@ -55,7 +55,10 @@ fn bisection_heals_and_delivery_completes() {
     }
     // Publishes during the partition under-deliver: cross-cut hops drop.
     let during: Vec<u64> = (0..8)
-        .map(|p| net.schedule_publish(t0 + SimTime::from_secs(2), (p * 5) % NODES, 0, point_for(p)))
+        .map(|p| {
+            net.schedule_publish(t0 + SimTime::from_secs(2), (p * 5) % NODES, 0, point_for(p))
+                .unwrap()
+        })
         .collect();
     net.run_until(heal);
 
@@ -64,7 +67,10 @@ fn bisection_heals_and_delivery_completes() {
     net.refresh_all_subscriptions();
     net.run_to_quiescence();
     let after: Vec<u64> = (0..8)
-        .map(|p| net.publish((p * 11 + 3) % NODES, 0, point_for(p + 100)))
+        .map(|p| {
+            net.publish((p * 11 + 3) % NODES, 0, point_for(p + 100))
+                .unwrap()
+        })
         .collect();
     net.run_to_quiescence();
 
@@ -117,7 +123,7 @@ fn lossy_scenario(retries: bool) -> (usize, usize, usize, Vec<EventStats>, NetSt
     }
     net.run_to_quiescence();
     for p in 0..20 {
-        net.publish((p * 7) % NODES, 0, point_for(p));
+        net.publish((p * 7) % NODES, 0, point_for(p)).unwrap();
     }
     net.run_to_quiescence();
 
@@ -160,6 +166,64 @@ fn one_percent_loss_without_retries_measurably_degrades() {
     assert!(
         del_r > del_nr,
         "retries must deliver strictly more pairs ({del_r} vs {del_nr})"
+    );
+}
+
+/// Flight-recorder version of the heal guarantee: record the post-heal
+/// window and assert *from the trace itself* that nothing was dropped
+/// after the partition lifted, while deliveries demonstrably flowed.
+#[test]
+fn trace_shows_no_drops_after_heal() {
+    let mut net = test_network(NODES, 42, SystemConfig::default().with_retries());
+    for i in 0..NODES {
+        net.subscribe(i, 0, Subscription::new(rect_for(i)));
+    }
+    net.run_to_quiescence();
+
+    let t0 = net.time();
+    let heal = t0 + SimTime::from_secs(30);
+    let mut fp = FaultPlane::new(7);
+    fp.add_partition(0..32, t0, heal);
+    net.install_fault_plane(fp);
+    for p in 0..8 {
+        net.schedule_publish(t0 + SimTime::from_secs(2), (p * 5) % NODES, 0, point_for(p))
+            .unwrap();
+    }
+    net.run_until(heal);
+    net.refresh_all_subscriptions();
+    net.run_to_quiescence();
+
+    // Record only the healed window.
+    net.enable_recording(1 << 16);
+    for p in 0..8 {
+        net.publish((p * 11 + 3) % NODES, 0, point_for(p + 100))
+            .unwrap();
+    }
+    net.run_to_quiescence();
+
+    let rec = net.recorder().expect("recording enabled");
+    assert_eq!(rec.evicted(), 0, "window must fit the ring buffer");
+    let count = |kind: &str| {
+        rec.kind_counts()
+            .iter()
+            .find(|&&(k, _)| k == kind)
+            .map_or(0, |&(_, c)| c)
+    };
+    assert_eq!(
+        count("net.drop_partition"),
+        0,
+        "no message may hit a partition after heal"
+    );
+    assert_eq!(count("net.drop_loss"), 0, "no loss policy is installed");
+    assert_eq!(count("net.drop_dead"), 0, "no node is down");
+    assert!(
+        count("delivery.local") > 0,
+        "subscribers must receive events in the recorded window"
+    );
+    assert!(count("net.deliver") > 0);
+    assert!(
+        rec.iter().all(|r| r.time >= heal),
+        "every recorded event postdates the heal"
     );
 }
 

@@ -41,7 +41,7 @@ proptest! {
         net.run_to_quiescence();
         for (i, &(x, y)) in points.iter().enumerate() {
             let p = Point(vec![x, y]);
-            net.publish((i * 7) % nodes, 0, p);
+            net.publish((i * 7) % nodes, 0, p).unwrap();
         }
         net.run_to_quiescence();
         for s in net.event_stats() {
@@ -58,7 +58,7 @@ proptest! {
         let mut net = test_network(nodes, seed, SystemConfig::default());
         net.subscribe(0, 0, Subscription::new(Rect::new(vec![0.0, 0.0], vec![100.0, 100.0])));
         net.run_to_quiescence();
-        let ev = net.publish(nodes - 1, 0, Point(vec![50.0, 50.0]));
+        let ev = net.publish(nodes - 1, 0, Point(vec![50.0, 50.0])).unwrap();
         net.run_to_quiescence();
         let stats = net.event_stats();
         let s = stats.iter().find(|s| s.event == ev).unwrap();
@@ -89,7 +89,7 @@ proptest! {
         }
         net.run_to_quiescence();
         for (i, &(x, y)) in points.iter().enumerate() {
-            net.publish((i * 7) % nodes, 0, Point(vec![x, y]));
+            net.publish((i * 7) % nodes, 0, Point(vec![x, y])).unwrap();
         }
         net.run_to_quiescence();
         let (del, exp, dup) = net.event_stats().iter().fold((0, 0, 0), |a, s| {
@@ -125,7 +125,7 @@ proptest! {
         }
         net.run_to_quiescence();
         for (i, &(x, y)) in points.iter().enumerate() {
-            net.publish((i * 7) % nodes, 0, Point(vec![x, y]));
+            net.publish((i * 7) % nodes, 0, Point(vec![x, y])).unwrap();
         }
         net.run_to_quiescence();
         prop_assert!(net.net().duplicated() > 0, "dup policy must have fired");
@@ -159,7 +159,7 @@ proptest! {
             }
             net.run_to_quiescence();
             for p in 0..4usize {
-                net.publish((p * 5) % nodes, 0, Point(vec![(p * 29 % 100) as f64, 50.0]));
+                net.publish((p * 5) % nodes, 0, Point(vec![(p * 29 % 100) as f64, 50.0])).unwrap();
             }
             net.run_to_quiescence();
             (net.event_stats(), net.net().clone())
@@ -189,17 +189,60 @@ proptest! {
             for (i, &(x, y)) in points.iter().enumerate() {
                 let p = Point(vec![x, y]);
                 if owned {
-                    net.publish_owned((i * 7) % nodes, 0, p);
+                    net.publish_owned((i * 7) % nodes, 0, p).unwrap();
                 } else {
-                    net.publish((i * 7) % nodes, 0, p);
+                    net.publish((i * 7) % nodes, 0, p).unwrap();
                 }
                 net.run_to_quiescence();
             }
-            hypersub_core::digest::run_digest(
-                net.sim().world().metrics.deliveries(),
-                net.net(),
-            )
+            net.run_digest()
         };
         prop_assert_eq!(run(false), run(true));
+    }
+
+    /// The flight recorder is provably digest-neutral: recording an
+    /// arbitrary faulty workload never changes the delivery trace or the
+    /// network counters, bit for bit.
+    #[test]
+    fn prop_recording_never_changes_run_digest(
+        rects in prop::collection::vec(arb_rect(), 2..12),
+        points in prop::collection::vec((0.0f64..=100.0, 0.0f64..=100.0), 1..6),
+        nodes in 8usize..32,
+        seed in 0u64..500,
+        capacity_bits in 4usize..12, // ring capacities 16..4096, incl. overflow
+        faulty in any::<bool>(),
+    ) {
+        let run = |record: bool| {
+            let config = if faulty {
+                SystemConfig::default().with_retries()
+            } else {
+                SystemConfig::default()
+            };
+            let mut net = test_network(nodes, seed, config);
+            if record {
+                net.enable_recording(1 << capacity_bits);
+            }
+            if faulty {
+                let mut fp = FaultPlane::new(seed ^ 0x0b5e);
+                fp.set_global_policy(LinkPolicy::loss(0.01).with_duplication(0.01));
+                net.install_fault_plane(fp);
+            }
+            for (i, r) in rects.iter().enumerate() {
+                net.subscribe(i % nodes, 0, Subscription::new(r.clone()));
+            }
+            net.run_to_quiescence();
+            for (i, &(x, y)) in points.iter().enumerate() {
+                net.publish((i * 7) % nodes, 0, Point(vec![x, y])).unwrap();
+            }
+            net.run_to_quiescence();
+            let recorded = net.recorder().map(|r| r.recorded()).unwrap_or(0);
+            (net.run_digest(), net.steps(), recorded)
+        };
+        let (d_off, steps_off, rec_off) = run(false);
+        let (d_on, steps_on, rec_on) = run(true);
+        prop_assert_eq!(d_off, d_on, "recording must be digest-neutral");
+        prop_assert_eq!(steps_off, steps_on, "recording must not add sim events");
+        prop_assert_eq!(rec_off, 0u64);
+        prop_assert!(rec_on > 0, "a real workload must record something");
     }
 }

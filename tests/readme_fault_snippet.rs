@@ -9,13 +9,12 @@ fn readme_fault_snippet_runs() {
         .attribute("price", 0.0, 100.0)
         .attribute("volume", 0.0, 100.0)
         .build(0);
-    let mut net = Network::build(NetworkParams {
-        nodes: 64,
-        registry: Registry::new(vec![scheme]),
-        config: SystemConfig::default().with_retries(),
-        seed: 7,
-        ..NetworkParams::default()
-    });
+    let mut net = Network::builder(64)
+        .registry(Registry::new(vec![scheme]))
+        .config(SystemConfig::default().with_retries())
+        .seed(7)
+        .build()
+        .expect("valid configuration");
 
     let mut faults = FaultPlane::new(99);
     faults.set_global_policy(
@@ -34,7 +33,7 @@ fn readme_fault_snippet_runs() {
     net.run_until(net.time() + SimTime::from_secs(31));
     net.refresh_all_subscriptions();
     net.run_to_quiescence();
-    net.publish(40, 0, Point(vec![15.0, 42.0]));
+    net.publish(40, 0, Point(vec![15.0, 42.0])).unwrap();
     net.run_to_quiescence();
 
     let s = &net.event_stats()[0];

@@ -1,0 +1,42 @@
+//! Compile-and-run check for the README observability snippet: builder
+//! construction, flight recording, and run-report export round-trip.
+
+use hypersub_core::prelude::*;
+
+#[test]
+fn readme_observability_snippet_runs() -> Result<()> {
+    let scheme = SchemeDef::builder("quotes")
+        .attribute("price", 0.0, 100.0)
+        .attribute("volume", 0.0, 100.0)
+        .build(0);
+    let mut net = Network::builder(64)
+        .registry(Registry::new(vec![scheme]))
+        .seed(7)
+        .latency(SimTime::from_millis(10))
+        .flight_recorder(1 << 14) // bounded ring; omit for zero overhead
+        .build()?;
+
+    net.subscribe(
+        3,
+        0,
+        Subscription::new(Rect::new(vec![10.0, 0.0], vec![20.0, 100.0])),
+    );
+    net.run_to_quiescence();
+    net.publish(40, 0, Point(vec![15.0, 42.0]))?;
+    net.run_to_quiescence();
+
+    // Inspect the trace…
+    let rec = net.recorder().expect("recording enabled");
+    assert!(rec.recorded() > 0);
+    for (kind, count) in rec.kind_counts() {
+        let _ = (kind, count); // e.g. ("net.deliver", 12)
+    }
+
+    // …and export the full run report (trace + metrics + stats) as JSON.
+    let report = net.report();
+    let json = report.to_json();
+    assert_eq!(Report::from_json(&json).as_ref(), Ok(&report));
+    assert!(report.trace.is_some());
+    assert_eq!(report.digest, net.run_digest());
+    Ok(())
+}

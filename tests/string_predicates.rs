@@ -26,13 +26,12 @@ fn event_point(host: &str, status: f64) -> Point {
 #[test]
 fn prefix_and_suffix_subscriptions_deliver_exactly() {
     let s = scheme();
-    let mut net = Network::build(NetworkParams {
-        nodes: 24,
-        registry: Registry::new(vec![s.clone()]),
-        config: SystemConfig::default(),
-        seed: 91,
-        ..NetworkParams::default()
-    });
+    let mut net = Network::builder(24)
+        .registry(Registry::new(vec![s.clone()]))
+        .config(SystemConfig::default())
+        .seed(91)
+        .build()
+        .expect("valid test network");
 
     // Node 1: everything from hosts starting with "api".
     let (lo, hi) = strings::prefix("api");
@@ -73,7 +72,7 @@ fn prefix_and_suffix_subscriptions_deliver_exactly() {
             want,
             "oracle disagrees for {host}/{status}"
         );
-        let ev = net.publish(5, 0, p);
+        let ev = net.publish(5, 0, p).unwrap();
         net.run_to_quiescence();
         let stats = net.event_stats();
         let st = stats.iter().find(|e| e.event == ev).unwrap();

@@ -8,8 +8,10 @@
 //!   report diff <BASELINE> <CANDIDATE>
 //!
 //! `diff` prints per-field deltas and exits nonzero when the two runs'
-//! digests differ — the CI gate against behavioral drift on the pinned
-//! workload.
+//! digests differ, or when any `repair.*` counter drifts (a counter
+//! absent from a report counts as zero, so baselines predating the
+//! self-healing plane remain comparable) — the CI gate against
+//! behavioral drift on the pinned workload.
 
 use hypersub_core::report::Report;
 use std::process::ExitCode;
@@ -84,6 +86,14 @@ fn delta_line(name: &str, a: u64, b: u64) {
     }
 }
 
+fn counter_total(r: &Report, name: &str) -> u64 {
+    r.counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, c)| c.total)
+        .unwrap_or(0)
+}
+
 fn diff(pa: &str, a: &Report, pb: &str, b: &Report) -> ExitCode {
     println!("diff {pa} -> {pb}");
     delta_line("nodes", a.nodes, b.nodes);
@@ -113,16 +123,44 @@ fn diff(pa: &str, a: &Report, pb: &str, b: &Report) -> ExitCode {
             println!("  {name:<28} (only in {pb})");
         }
     }
+    // Self-healing activity on a pinned workload must be reproducible:
+    // any repair.* total drifting between baseline and candidate is a
+    // build failure, digest match or not.
+    let mut repair: Vec<&str> = a
+        .counters
+        .iter()
+        .chain(b.counters.iter())
+        .map(|(n, _)| n.as_str())
+        .filter(|n| n.starts_with("repair."))
+        .collect();
+    repair.sort_unstable();
+    repair.dedup();
+    let drifted: Vec<&str> = repair
+        .into_iter()
+        .filter(|n| counter_total(a, n) != counter_total(b, n))
+        .collect();
+    let mut failed = false;
+    if !drifted.is_empty() {
+        eprintln!(
+            "report diff: self-healing drift — counters changed: {}",
+            drifted.join(", ")
+        );
+        failed = true;
+    }
     if a.digest == b.digest {
         println!("  digest                       {:#018x}  MATCH", a.digest);
-        ExitCode::SUCCESS
     } else {
         println!(
             "  digest                       {:#018x} -> {:#018x}  MISMATCH",
             a.digest, b.digest
         );
         eprintln!("report diff: behavioral drift — run digests differ");
+        failed = true;
+    }
+    if failed {
         ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

@@ -90,6 +90,12 @@ pub struct Outcome {
     pub sends: Sends,
     /// A completed application lookup `(token, owner)`, if any.
     pub app_lookup: Option<(u64, Peer)>,
+    /// Whether this message changed the node's immediate neighborhood
+    /// (predecessor or first successor). The application layer hooks this
+    /// to react to ownership changes — e.g. promoting replicated
+    /// rendezvous state when a new predecessor shrinks-from-behind the
+    /// responsibility arc.
+    pub neighborhood_changed: bool,
 }
 
 /// Consecutive unanswered stabilize probes tolerated before a peer is
@@ -293,6 +299,7 @@ impl MaintState {
         // lift its tombstone (e.g. a healed partition re-introducing
         // peers this side had struck out).
         self.dead.remove(&from);
+        let neighborhood_before = (self.chord.predecessor, self.chord.successor());
         let mut out = Outcome::default();
         match msg {
             ChordMsg::FindSuccessor {
@@ -383,6 +390,8 @@ impl MaintState {
                         // Predecessor liveness probe only: its successor
                         // list points at (and behind) us and would re-seed
                         // entries we have deliberately evicted.
+                        out.neighborhood_changed =
+                            neighborhood_before != (self.chord.predecessor, self.chord.successor());
                         return out;
                     }
                 }
@@ -433,6 +442,8 @@ impl MaintState {
                 }
             }
         }
+        out.neighborhood_changed =
+            neighborhood_before != (self.chord.predecessor, self.chord.successor());
         out
     }
 }
@@ -652,6 +663,21 @@ mod tests {
         // Self-observation is a no-op.
         m.observe_peer(Peer { id: 100, idx: 0 });
         assert_eq!(m.chord.predecessor, Some(p));
+    }
+
+    #[test]
+    fn neighborhood_change_is_flagged_once() {
+        let mut m = MaintState::new(ChordState::new(100, 0, 4));
+        let p = Peer { id: 90, idx: 3 };
+        let out = m.handle(3, ChordMsg::Notify { peer: p });
+        assert!(
+            out.neighborhood_changed,
+            "first notify installs a predecessor and successor"
+        );
+        let out = m.handle(3, ChordMsg::Notify { peer: p });
+        assert!(!out.neighborhood_changed, "re-notify changes nothing");
+        let out = m.handle(3, ChordMsg::GetNeighbors);
+        assert!(!out.neighborhood_changed, "probes change nothing");
     }
 
     #[test]

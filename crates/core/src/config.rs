@@ -73,6 +73,37 @@ impl Default for RetryConfig {
     }
 }
 
+/// Self-healing configuration (§4, "soft-state refresh" made decentralized):
+/// successor replication of rendezvous state plus per-subscriber soft-state
+/// leases. Off by default — when disabled, no lease timers are armed, no
+/// replica messages are sent, and run digests are bit-identical to builds
+/// that predate this subsystem.
+#[derive(Debug, Clone)]
+pub struct HealConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Number of successors each rendezvous node replicates its
+    /// subscription entries to (`r`). `0` disables replication but keeps
+    /// leases: lost state still regenerates, just no faster than one lease
+    /// period.
+    pub replication_factor: usize,
+    /// Period of the per-subscriber lease timer. Each node re-pushes its
+    /// own subscriptions (and re-derives its surrogate chains) every
+    /// period; timers are staggered per node so refreshes do not
+    /// synchronize.
+    pub lease_period: SimTime,
+}
+
+impl Default for HealConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            replication_factor: 2,
+            lease_period: SimTime::from_secs(5),
+        }
+    }
+}
+
 /// Whole-system configuration shared by every node.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
@@ -83,6 +114,8 @@ pub struct SystemConfig {
     pub lb: LbConfig,
     /// Ack/retransmit settings.
     pub retry: RetryConfig,
+    /// Self-healing (replication + leases) settings.
+    pub heal: HealConfig,
 }
 
 impl Default for SystemConfig {
@@ -91,6 +124,7 @@ impl Default for SystemConfig {
             zone: ZoneParams::base2_level20(),
             lb: LbConfig::default(),
             retry: RetryConfig::default(),
+            heal: HealConfig::default(),
         }
     }
 }
@@ -114,6 +148,14 @@ impl SystemConfig {
     /// request-shaped protocol messages.
     pub fn with_retries(mut self) -> Self {
         self.retry.enabled = true;
+        self
+    }
+
+    /// Enables the self-healing plane: successor replication of rendezvous
+    /// state and per-subscriber soft-state leases, with the default
+    /// replication factor and lease period.
+    pub fn with_self_healing(mut self) -> Self {
+        self.heal.enabled = true;
         self
     }
 }
@@ -142,6 +184,15 @@ mod tests {
     #[test]
     fn with_lb_enables() {
         assert!(SystemConfig::default().with_lb().lb.enabled);
+    }
+
+    #[test]
+    fn self_healing_default_off_and_enable() {
+        let c = SystemConfig::default();
+        assert!(!c.heal.enabled);
+        assert_eq!(c.heal.replication_factor, 2);
+        assert_eq!(c.heal.lease_period, SimTime::from_secs(5));
+        assert!(SystemConfig::default().with_self_healing().heal.enabled);
     }
 
     #[test]

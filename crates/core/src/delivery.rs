@@ -252,7 +252,7 @@ impl HyperSubNode {
                 // names: the named node (and the state its internal id
                 // referred to) is gone. Interpreting a foreign internal id
                 // against our own table would mis-deliver; drop instead —
-                // soft-state refresh re-establishes valid chains.
+                // the soft-state leases re-establish valid chains.
                 let _ = iid;
             }
             // Each (event, iid) pair is handled at most once per node —

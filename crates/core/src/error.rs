@@ -25,6 +25,12 @@ pub enum HyperSubError {
         /// The failed node's index.
         node: usize,
     },
+    /// The operation (e.g. [`crate::sim::Network::revive`]) requires a
+    /// failed node, but the node is alive.
+    AliveNode {
+        /// The live node's index.
+        node: usize,
+    },
     /// The subscription id does not name a live local subscription
     /// (never issued, or already unsubscribed).
     UnknownSubscription {
@@ -53,6 +59,9 @@ impl fmt::Display for HyperSubError {
                 )
             }
             HyperSubError::DeadNode { node } => write!(f, "node {node} is failed"),
+            HyperSubError::AliveNode { node } => {
+                write!(f, "node {node} is alive (expected a failed node)")
+            }
             HyperSubError::UnknownSubscription { sub } => {
                 write!(f, "no live local subscription {sub:?}")
             }
@@ -84,6 +93,8 @@ mod tests {
         assert!(e.to_string().contains("zero nodes"));
         let e = HyperSubError::DeadNode { node: 2 };
         assert!(e.to_string().contains("failed"));
+        let e = HyperSubError::AliveNode { node: 3 };
+        assert!(e.to_string().contains("alive"));
     }
 
     #[test]

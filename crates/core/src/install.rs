@@ -272,6 +272,7 @@ impl HyperSubNode {
             self.repos.insert(repo_key, ZoneRepo::new(iid));
         }
         let repo = self.repos.get_mut(&repo_key).expect("just inserted");
+        let is_new = !repo.entries.contains_key(&id);
         let summary_grew = repo.insert(id, sub);
         ctx.world.metrics.proto.sub_registers.inc(ctx.me);
         ctx.trace(|| ProtoEvent {
@@ -282,6 +283,12 @@ impl HyperSubNode {
         });
         if summary_grew {
             self.push_down(ctx, repo_key);
+        }
+        if is_new {
+            // Incremental successor replication (no-op unless self-healing
+            // is on): bounds the loss window for fresh registrations to
+            // one message latency instead of one lease period.
+            self.replicate_entry(ctx, repo_key, id);
         }
     }
 

@@ -77,6 +77,7 @@ pub mod config;
 pub mod delivery;
 pub mod digest;
 pub mod error;
+pub mod heal;
 pub mod index;
 pub mod install;
 pub mod loadbal;
@@ -127,7 +128,7 @@ pub mod advanced {
 /// Convenient glob import for applications — the documented single entry
 /// point to the crate's public API.
 pub mod prelude {
-    pub use crate::config::{LbConfig, RetryConfig, SystemConfig};
+    pub use crate::config::{HealConfig, LbConfig, RetryConfig, SystemConfig};
     pub use crate::error::{HyperSubError, Result};
     pub use crate::metrics::{EventStats, Metrics};
     pub use crate::model::{Event, Registry, SchemeDef, SchemeId, SubId, Subscription};

@@ -180,11 +180,20 @@ pub struct ProtoMetrics {
     pub migration_rounds: PerNodeCounter,
     /// Subscriptions migrated away after acceptor acknowledgment.
     pub migrated_subs: PerNodeCounter,
+    /// Soft-state lease ticks fired (self-healing plane).
+    pub lease_refreshes: PerNodeCounter,
+    /// Replica entries stored on behalf of predecessor origins.
+    pub replica_entries: PerNodeCounter,
+    /// Replica sets promoted into owned repositories after an ownership
+    /// change revealed a dead origin.
+    pub promotions: PerNodeCounter,
+    /// Migrated-away subscriptions re-homed after their host died.
+    pub rehomed_subs: PerNodeCounter,
 }
 
 impl ProtoMetrics {
     /// All counters with their registry names, for export.
-    pub fn counters(&self) -> [(&'static str, &PerNodeCounter); 9] {
+    pub fn counters(&self) -> [(&'static str, &PerNodeCounter); 13] {
         [
             ("retry.attempts", &self.retry_attempts),
             ("retry.give_ups", &self.retry_give_ups),
@@ -195,6 +204,10 @@ impl ProtoMetrics {
             ("install.chain_pushes", &self.chain_pushes),
             ("lb.migration_rounds", &self.migration_rounds),
             ("lb.migrated_subs", &self.migrated_subs),
+            ("repair.lease_refreshes", &self.lease_refreshes),
+            ("repair.replicas", &self.replica_entries),
+            ("repair.promotions", &self.promotions),
+            ("repair.rehomes", &self.rehomed_subs),
         ]
     }
 

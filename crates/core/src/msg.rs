@@ -8,7 +8,7 @@
 //! 9-byte zone codes).
 
 use crate::model::{Event, SchemeId, SubId, SubTarget, SubschemeId};
-use crate::repo::RepoKey;
+use crate::repo::{RepoKey, StoredSub};
 use hypersub_chord::proto::ChordMsg;
 use hypersub_chord::Peer;
 use hypersub_lph::{Rect, ZoneCode};
@@ -138,6 +138,15 @@ pub struct MigAck {
     pub proj_summary: Rect,
 }
 
+/// One zone repository's worth of replicated entries (self-healing plane).
+#[derive(Debug, Clone)]
+pub struct ReplicaBatch {
+    /// Repository the entries belong to at the origin.
+    pub key: RepoKey,
+    /// The replicated entries, sorted by id for deterministic iteration.
+    pub entries: Vec<(SubId, StoredSub)>,
+}
+
 /// All HyperSub traffic.
 #[derive(Debug, Clone)]
 pub enum HyperMsg {
@@ -176,6 +185,19 @@ pub enum HyperMsg {
         me: Peer,
         /// One ack per accepted batch.
         acks: Vec<MigAck>,
+    },
+    /// Successor replication of rendezvous state (self-healing plane).
+    /// `full` snapshots carry the origin's entire repository set and
+    /// replace the receiver's replica of that origin (anti-entropy);
+    /// incremental updates merge single entries as they register.
+    ReplicaUpdate {
+        /// The rendezvous node whose state this replicates.
+        origin: Peer,
+        /// Replace (`true`, periodic snapshot) vs merge (`false`,
+        /// incremental) semantics at the receiver.
+        full: bool,
+        /// Per-repository entry batches.
+        repos: Vec<ReplicaBatch>,
     },
     /// Embedded Chord maintenance traffic.
     Chord(ChordMsg),
@@ -223,6 +245,30 @@ impl Payload for HyperMsg {
                     + acks
                         .iter()
                         .map(|a| ZONE_BYTES + 5 + 4 + rect_bytes(&a.proj_summary))
+                        .sum::<usize>()
+            }
+            HyperMsg::ReplicaUpdate { repos, .. } => {
+                HEADER_BYTES
+                    + 12
+                    + 1
+                    + repos
+                        .iter()
+                        .map(|b| {
+                            ZONE_BYTES
+                                + 5
+                                + b.entries
+                                    .iter()
+                                    .map(|(_, s)| {
+                                        SUBID_BYTES
+                                            + match s {
+                                                StoredSub::Real { full, proj } => {
+                                                    rect_bytes(full) + rect_bytes(proj)
+                                                }
+                                                StoredSub::Surrogate { proj } => rect_bytes(proj),
+                                            }
+                                    })
+                                    .sum::<usize>()
+                        })
                         .sum::<usize>()
             }
             HyperMsg::Chord(m) => m.wire_size(),
@@ -314,6 +360,31 @@ mod tests {
         let ack = HyperMsg::Ack { token: 99 };
         assert_eq!(ack.wire_size(), 28);
         assert_eq!(ack.flow(), None);
+    }
+
+    #[test]
+    fn replica_update_size_counts_entries() {
+        let r = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let msg = HyperMsg::ReplicaUpdate {
+            origin: Peer { id: 1, idx: 0 },
+            full: true,
+            repos: vec![ReplicaBatch {
+                key: (0, 0, ZoneCode::ROOT),
+                entries: vec![
+                    (
+                        SubId { nid: 1, iid: 1 },
+                        StoredSub::Real {
+                            full: r.clone(),
+                            proj: r.clone(),
+                        },
+                    ),
+                    (SubId { nid: 2, iid: 1 }, StoredSub::Surrogate { proj: r }),
+                ],
+            }],
+        };
+        // 20 + 12 + 1 + (9 + 5 + (9 + 64) + (9 + 32))
+        assert_eq!(msg.wire_size(), 161);
+        assert_eq!(msg.flow(), None);
     }
 
     #[test]

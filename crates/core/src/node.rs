@@ -90,6 +90,8 @@ pub const TOKEN_LB: u64 = 1;
 pub const TOKEN_STABILIZE: u64 = 2;
 /// Timer token: Chord fix-fingers (churn scenarios only).
 pub const TOKEN_FIX_FINGERS: u64 = 3;
+/// Timer token: soft-state lease tick (self-healing only; see `heal.rs`).
+pub const TOKEN_LEASE: u64 = 4;
 /// Timer tokens in `[PUBLISH_BASE, RETRY_BASE)` publish scripted event
 /// `token - PUBLISH_BASE`.
 pub const TOKEN_PUBLISH_BASE: u64 = 1 << 32;
@@ -129,6 +131,9 @@ pub struct HyperSubNode {
     pub(crate) scratch: crate::delivery::DeliveryScratch,
     /// Ack/retransmit state for reliable sends (see `retry.rs`).
     pub rel: crate::retry::RelState,
+    /// Replicated rendezvous state held on behalf of predecessors, keyed
+    /// by origin index (self-healing plane; see `heal.rs`).
+    pub replicas: FxHashMap<usize, crate::heal::ReplicaSet>,
     /// Relative capacity of this node (§4: each node's threshold factor
     /// "is based on the node's capacity"). 1.0 = baseline; a node with
     /// capacity 2.0 tolerates twice the average load before migrating.
@@ -152,6 +157,7 @@ impl HyperSubNode {
             dedup: DedupCache::default(),
             scratch: crate::delivery::DeliveryScratch::default(),
             rel: crate::retry::RelState::default(),
+            replicas: FxHashMap::default(),
             capacity: 1.0,
             next_iid: 1, // the paper's internal IDs are positive integers
         }
@@ -224,6 +230,9 @@ impl Node<HyperMsg, HyperWorld> for HyperSubNode {
         msg: HyperMsg,
     ) {
         self.maint.note_dead(dst);
+        // Fail-stop evidence of a dead peer: re-home any subscriptions we
+        // migrated to it (no-op unless self-healing is on).
+        self.heal_on_peer_dead(ctx, dst);
         match msg {
             HyperMsg::Reliable { token, inner } => {
                 // Fail-stop beats the retransmit timer: resolve the pending
@@ -265,7 +274,17 @@ impl Node<HyperMsg, HyperWorld> for HyperSubNode {
                 for (dst, m) in out.sends {
                     ctx.send(dst, HyperMsg::Chord(m));
                 }
+                if out.neighborhood_changed {
+                    // Ownership handoff: a predecessor change may extend
+                    // our responsibility arc over a dead origin's keys.
+                    self.heal_check_promotions(ctx);
+                }
             }
+            HyperMsg::ReplicaUpdate {
+                origin,
+                full,
+                repos,
+            } => self.handle_replica(ctx, origin, full, repos),
             HyperMsg::Reliable { token, inner } => self.handle_reliable(ctx, from, token, *inner),
             HyperMsg::Ack { token } => self.handle_ack(ctx, token),
         }
@@ -284,6 +303,7 @@ impl Node<HyperMsg, HyperWorld> for HyperSubNode {
         }
         match token {
             TOKEN_LB => self.lb_tick(ctx),
+            TOKEN_LEASE if self.cfg.heal.enabled => self.lease_tick(ctx),
             TOKEN_STABILIZE if self.maintenance => {
                 ctx.set_timer(hypersub_chord::proto::STABILIZE_PERIOD, TOKEN_STABILIZE);
                 for (dst, m) in self.maint.stabilize_tick() {

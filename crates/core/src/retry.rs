@@ -201,7 +201,11 @@ impl HyperSubNode {
                 }
             }
         }
-        // Registrations: soft-state refresh re-installs. Deliveries: the
+        // A silent host (dead but never fail-stop-detected, e.g. behind a
+        // partition) holding subscriptions we migrated to it: re-home them
+        // (no-op unless self-healing is on).
+        self.heal_on_peer_dead(ctx, p.dst);
+        // Registrations: the soft-state lease re-installs. Deliveries: the
         // residual loss after max_attempts is the accepted failure floor.
     }
 

@@ -6,7 +6,10 @@ use crate::error::{HyperSubError, Result};
 use crate::metrics::{DeliveryRecord, EventStats, Metrics};
 use crate::model::{Event, Registry, SchemeId, SubId, Subscription};
 use crate::msg::HyperMsg;
-use crate::node::{HyperSubNode, TOKEN_FIX_FINGERS, TOKEN_LB, TOKEN_PUBLISH_BASE, TOKEN_STABILIZE};
+use crate::node::{
+    HyperSubNode, IidTarget, TOKEN_FIX_FINGERS, TOKEN_LB, TOKEN_LEASE, TOKEN_PUBLISH_BASE,
+    TOKEN_STABILIZE,
+};
 use crate::world::HyperWorld;
 use hypersub_chord::builder::{build_ring, RingConfig};
 use hypersub_lph::Point;
@@ -179,6 +182,11 @@ impl NetworkBuilder {
                 "retries require max_attempts >= 1",
             ));
         }
+        if self.config.heal.enabled && self.config.heal.lease_period == SimTime::ZERO {
+            return Err(HyperSubError::InvalidConfig(
+                "self-healing requires a nonzero lease period",
+            ));
+        }
         let topo: Arc<dyn Topology> = match &self.topology {
             TopologyKind::Uniform(t) => Arc::new(UniformTopology::new(self.nodes, *t)),
             TopologyKind::KingLike(rtt) => Arc::new(KingLikeTopology::generate(
@@ -206,6 +214,15 @@ impl NetworkBuilder {
             for i in 0..self.nodes {
                 let offset = SimTime::from_micros((i as u64).wrapping_mul(7919) % period_us);
                 sim.schedule_timer(cfg.lb.period + offset, i, TOKEN_LB);
+            }
+        }
+        if cfg.heal.enabled {
+            // Same stagger trick for lease ticks: a jittered start keeps
+            // re-push/replication bursts from synchronizing across nodes.
+            let period_us = cfg.heal.lease_period.as_micros().max(1);
+            for i in 0..self.nodes {
+                let offset = SimTime::from_micros((i as u64).wrapping_mul(7919) % period_us);
+                sim.schedule_timer(cfg.heal.lease_period + offset, i, TOKEN_LEASE);
             }
         }
         Ok(Network {
@@ -377,13 +394,88 @@ impl Network {
     }
 
     /// Fails a node (messages to it are dropped).
-    pub fn fail(&mut self, node: usize) {
+    ///
+    /// # Errors
+    /// [`HyperSubError::NodeOutOfRange`] for a bad index,
+    /// [`HyperSubError::DeadNode`] when the node is already failed.
+    pub fn fail(&mut self, node: usize) -> Result<()> {
+        self.check_node(node)?;
+        if !self.sim.is_alive(node) {
+            return Err(HyperSubError::DeadNode { node });
+        }
         self.sim.fail(node);
+        Ok(())
     }
 
-    /// Revives a failed node (state unchanged).
-    pub fn revive(&mut self, node: usize) {
+    /// Revives a failed node.
+    ///
+    /// The engine silently discards timer events addressed to dead nodes,
+    /// so every enabled periodic timer (maintenance, load balancing,
+    /// leases) is re-armed here. With self-healing enabled the node also
+    /// *rejoins fresh*: its pre-failure rendezvous state (repositories,
+    /// hosted entries, replicas, volatile LB and retry bookkeeping) is
+    /// stale — successors promoted it while the node was down — and is
+    /// dropped; leases and stabilization rebuild what the node should own.
+    /// Local subscriptions and Chord identity survive (the application
+    /// did not crash away its intent, and the ring id is the node). With
+    /// self-healing disabled the legacy semantics hold: state unchanged.
+    ///
+    /// # Errors
+    /// [`HyperSubError::NodeOutOfRange`] for a bad index,
+    /// [`HyperSubError::AliveNode`] when the node is not failed.
+    pub fn revive(&mut self, node: usize) -> Result<()> {
+        self.check_node(node)?;
+        if self.sim.is_alive(node) {
+            return Err(HyperSubError::AliveNode { node });
+        }
         self.sim.revive(node);
+        let n = self.sim.node(node);
+        let heal = n.cfg.heal.enabled;
+        let lb = n.cfg.lb.enabled;
+        let lease_period = n.cfg.heal.lease_period;
+        let lb_period = n.cfg.lb.period;
+        let maintenance = n.maintenance;
+        if heal {
+            self.sim.with_node_ctx(node, |n, ctx| {
+                n.repos.clear();
+                n.hosted.clear();
+                n.replicas.clear();
+                n.iids.retain(|_, t| matches!(t, IidTarget::Local));
+                n.lb.samples.clear();
+                n.lb.pending.clear();
+                n.lb.in_flight.clear();
+                n.lb.migrated_index.clear();
+                n.rel.pending.clear();
+                let me = ctx.me as u64;
+                ctx.trace(|| hypersub_simnet::ProtoEvent {
+                    kind: "repair.rejoin",
+                    flow: None,
+                    a: me,
+                    b: 0,
+                });
+            });
+        }
+        let now = self.time();
+        if maintenance {
+            self.sim.schedule_timer(
+                now + hypersub_chord::proto::STABILIZE_PERIOD,
+                node,
+                TOKEN_STABILIZE,
+            );
+            self.sim.schedule_timer(
+                now + hypersub_chord::proto::FIX_FINGERS_PERIOD,
+                node,
+                TOKEN_FIX_FINGERS,
+            );
+        }
+        if lb {
+            self.sim.schedule_timer(now + lb_period, node, TOKEN_LB);
+        }
+        if heal {
+            self.sim
+                .schedule_timer(now + lease_period, node, TOKEN_LEASE);
+        }
+        Ok(())
     }
 
     /// Installs a fault plane on the underlying simulator (loss,
@@ -400,6 +492,17 @@ impl Network {
     /// Soft-state refresh on every live node: re-registers all local
     /// subscriptions and re-pushes summary-filter chains, so state lost
     /// with failed surrogate nodes is rebuilt on the healed ring.
+    ///
+    /// Deprecated: this is an omniscient crutch no real node could invoke
+    /// (it iterates the whole network from outside the protocol). Enable
+    /// [`SystemConfig::with_self_healing`] instead — per-subscriber leases
+    /// plus successor replication repair the same state decentralized,
+    /// without a global view (see `heal.rs`).
+    #[deprecated(
+        since = "0.2.0",
+        note = "enable SystemConfig::with_self_healing(): leases + successor \
+                replication repair state without a global view"
+    )]
     pub fn refresh_all_subscriptions(&mut self) {
         for i in 0..self.sim.len() {
             if self.sim.is_alive(i) {
@@ -418,14 +521,15 @@ impl Network {
     /// all processed).
     ///
     /// # Panics
-    /// Panics when load balancing or Chord maintenance is enabled — their
-    /// periodic timers re-arm forever, so the queue never drains; drive
-    /// such networks with [`Network::run_until`] instead.
+    /// Panics when load balancing, Chord maintenance, or self-healing is
+    /// enabled — their periodic timers re-arm forever, so the queue never
+    /// drains; drive such networks with [`Network::run_until`] instead.
     pub fn run_to_quiescence(&mut self) {
+        let n0 = self.sim.node(0);
         assert!(
-            !self.sim.node(0).cfg.lb.enabled && !self.sim.node(0).maintenance,
+            !n0.cfg.lb.enabled && !n0.maintenance && !n0.cfg.heal.enabled,
             "run_to_quiescence would never return with periodic timers \
-             (LB/maintenance) armed; use run_until"
+             (LB/maintenance/leases) armed; use run_until"
         );
         self.sim.run(u64::MAX / 2);
     }
@@ -770,13 +874,66 @@ mod tests {
             net.unsubscribe(3, sub),
             Err(HyperSubError::ForeignSubscription { node: 3, sub })
         );
-        net.fail(2);
+        net.fail(2).unwrap();
         assert_eq!(
             net.unsubscribe(2, sub),
             Err(HyperSubError::DeadNode { node: 2 })
         );
-        net.revive(2);
+        net.revive(2).unwrap();
         assert_eq!(net.unsubscribe(2, sub), Ok(()));
+    }
+
+    #[test]
+    fn fail_and_revive_are_typed() {
+        let mut net = small_net(4, 14);
+        assert_eq!(
+            net.fail(9).err(),
+            Some(HyperSubError::NodeOutOfRange { node: 9, nodes: 4 })
+        );
+        assert_eq!(
+            net.revive(9).err(),
+            Some(HyperSubError::NodeOutOfRange { node: 9, nodes: 4 })
+        );
+        assert_eq!(
+            net.revive(2).err(),
+            Some(HyperSubError::AliveNode { node: 2 }),
+            "reviving a live node is an error"
+        );
+        net.fail(1).unwrap();
+        assert_eq!(
+            net.fail(1).err(),
+            Some(HyperSubError::DeadNode { node: 1 }),
+            "double fail is an error"
+        );
+        net.revive(1).unwrap();
+        net.fail(1).unwrap();
+    }
+
+    #[test]
+    fn heal_requires_nonzero_lease_period() {
+        let mut cfg = SystemConfig::default().with_self_healing();
+        cfg.heal.lease_period = SimTime::ZERO;
+        assert_eq!(
+            Network::builder(4)
+                .registry(registry())
+                .config(cfg)
+                .build()
+                .err(),
+            Some(HyperSubError::InvalidConfig(
+                "self-healing requires a nonzero lease period"
+            ))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "use run_until")]
+    fn quiescence_panics_with_self_healing_enabled() {
+        let mut net = Network::builder(4)
+            .registry(registry())
+            .config(SystemConfig::default().with_self_healing())
+            .build()
+            .unwrap();
+        net.run_to_quiescence();
     }
 
     #[test]

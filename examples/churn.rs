@@ -1,10 +1,13 @@
-//! Churn: Chord maintenance keeping delivery alive through node failures.
+//! Churn: Chord maintenance plus the self-healing subscription plane
+//! keeping delivery alive through node failures.
 //!
 //! The paper leaves high-churn evaluation as future work but relies on
 //! "the underlying DHT to deal with nodes join/departure/failure" (§6).
 //! This example enables the maintenance protocol (stabilize, fix-fingers,
-//! failure eviction), kills 5% of nodes mid-stream, and shows that events
-//! keep reaching subscribers on surviving nodes once the ring heals.
+//! failure eviction) and self-healing (successor replication, soft-state
+//! leases, ownership handoff), kills 5% of nodes mid-stream, and shows
+//! that events keep reaching subscribers on surviving nodes once the ring
+//! heals — with no global refresh of any kind.
 //!
 //! Run with: `cargo run --release -p hypersub-examples --bin churn`
 
@@ -21,7 +24,7 @@ fn main() {
     let nodes = 128;
     let mut net = Network::builder(nodes)
         .registry(registry)
-        .config(SystemConfig::default())
+        .config(SystemConfig::default().with_self_healing())
         .seed(77)
         .build()
         .expect("valid configuration");
@@ -60,17 +63,16 @@ fn main() {
     while dead.len() < 6 {
         let victim = rng.gen_range(64..nodes);
         if !dead.contains(&victim) {
-            net.fail(victim);
+            net.fail(victim).expect("victim in range and alive");
             dead.push(victim);
         }
     }
     println!("killed nodes: {dead:?}");
-    // Let stabilization evict them and heal the ring, then refresh the
-    // soft state: subscriptions whose surrogate nodes died re-register
-    // onto the healed ring.
-    net.run_until(net.time() + SimTime::from_secs(30));
-    net.refresh_all_subscriptions();
-    net.run_until(net.time() + SimTime::from_secs(10));
+    // Let stabilization evict them and heal the ring. The successors of
+    // the dead nodes promote the replicated rendezvous state, and the
+    // soft-state leases re-push anything still missing — the window below
+    // covers several lease periods.
+    net.run_until(net.time() + SimTime::from_secs(40));
 
     // Phase 2: publish again from surviving nodes.
     let before = net.event_stats().len();
@@ -87,15 +89,16 @@ fn main() {
     let after: Vec<_> = all.iter().skip(before).collect();
     let after_ok = after.iter().filter(|s| s.delivered == s.expected).count();
     println!(
-        "phase 2 (after 6 failures + heal + refresh): {}/{} events fully delivered",
+        "phase 2 (after 6 failures + self-healing): {}/{} events fully delivered",
         after_ok,
         after.len()
     );
-    // With the ring healed and soft state refreshed, delivery should be
-    // essentially fully restored (a stray finger may still be stale).
+    // With the ring healed and the soft state self-repaired, delivery
+    // should be essentially fully restored (a stray finger may still be
+    // stale).
     assert!(
         after_ok as f64 >= 0.98 * after.len() as f64,
-        "healed + refreshed ring must keep delivering ({after_ok}/{})",
+        "healed + self-repaired ring must keep delivering ({after_ok}/{})",
         after.len()
     );
     println!("churn OK");

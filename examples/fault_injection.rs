@@ -1,7 +1,7 @@
 //! Fault-injection demo: a 64-node network under 1% uniform message
 //! loss, a 0.5% duplication rate, 20 ms jitter and a 30-second ring
-//! bisection — with the retry/ack layer keeping delivery complete and
-//! duplicate-free once the partition heals.
+//! bisection — with the retry/ack layer and the self-healing plane
+//! keeping delivery complete and duplicate-free once the partition heals.
 //!
 //! Run with: `cargo run -p hypersub-examples --release --bin fault_injection`
 
@@ -15,7 +15,7 @@ fn main() {
         .build(0);
     let mut net = Network::builder(64)
         .registry(Registry::new(vec![scheme]))
-        .config(SystemConfig::default().with_retries())
+        .config(SystemConfig::default().with_retries().with_self_healing())
         .seed(7)
         .build()
         .expect("valid configuration");
@@ -29,7 +29,7 @@ fn main() {
             Subscription::new(Rect::new(vec![lo, 0.0], vec![lo + 25.0, 100.0])),
         );
     }
-    net.run_to_quiescence();
+    net.run_until(net.time() + SimTime::from_secs(10));
 
     // Faults have their own seed, independent of the workload's.
     let mut faults = FaultPlane::new(99);
@@ -60,9 +60,9 @@ fn main() {
         .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
     println!("during the partition: {del}/{exp} (event, subscriber) pairs delivered");
 
-    // Heal: soft-state refresh, then publish again under loss alone.
-    net.refresh_all_subscriptions();
-    net.run_to_quiescence();
+    // Heal: the soft-state leases re-install whatever the cut ate (no
+    // global refresh), then publish again under loss alone.
+    net.run_until(net.time() + SimTime::from_secs(15));
     let healed: Vec<u64> = (0..10)
         .map(|p| {
             net.publish(
@@ -73,7 +73,7 @@ fn main() {
             .unwrap()
         })
         .collect();
-    net.run_to_quiescence();
+    net.run_until(net.time() + SimTime::from_secs(15));
 
     let stats = net.event_stats();
     let (del, exp, dup) = stats

@@ -1,5 +1,7 @@
-//! Churn integration tests: failures, ring healing, soft-state refresh,
-//! and delivery correctness on the healed network.
+//! Churn integration tests: failures, ring healing, and delivery
+//! correctness on the healed network — repaired entirely by the
+//! decentralized self-healing plane (successor replication + soft-state
+//! leases + ownership handoff), with no global refresh crutch.
 
 use hypersub_core::prelude::*;
 use hypersub_tests::test_network;
@@ -7,8 +9,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 #[test]
-fn delivery_recovers_after_failures_with_refresh() {
-    let mut net = test_network(64, 61, SystemConfig::default());
+fn delivery_recovers_after_failures_with_self_healing() {
+    let mut net = test_network(64, 61, SystemConfig::default().with_self_healing());
     net.enable_maintenance();
     let mut rng = SmallRng::seed_from_u64(2);
     // Subscribers on the first half only; victims from the second half.
@@ -23,11 +25,12 @@ fn delivery_recovers_after_failures_with_refresh() {
     net.run_until(net.time() + SimTime::from_secs(10));
 
     for victim in [40, 47, 55] {
-        net.fail(victim);
+        net.fail(victim).unwrap();
     }
-    net.run_until(net.time() + SimTime::from_secs(30));
-    net.refresh_all_subscriptions();
-    net.run_until(net.time() + SimTime::from_secs(10));
+    // Stabilization evicts the victims and hands their arcs to their
+    // successors, which promote the replicated rendezvous state; the
+    // window covers several lease periods so surrogate chains reconverge.
+    net.run_until(net.time() + SimTime::from_secs(40));
 
     let before = net.event_stats().len();
     let mut t = net.time();
@@ -53,8 +56,9 @@ fn delivery_recovers_after_failures_with_refresh() {
 #[test]
 fn failed_rendezvous_successor_takes_over() {
     // Kill a node, then publish an event whose rendezvous key the dead
-    // node owned: its successor must handle it after healing + refresh.
-    let mut net = test_network(32, 67, SystemConfig::default());
+    // node owned: its successor must handle it after promotion of the
+    // replicated state — no global refresh involved.
+    let mut net = test_network(32, 67, SystemConfig::default().with_self_healing());
     net.enable_maintenance();
     for node in 0..8 {
         net.subscribe(
@@ -66,11 +70,9 @@ fn failed_rendezvous_successor_takes_over() {
     net.run_until(net.time() + SimTime::from_secs(5));
     // Fail a third of the network (not the subscribers).
     for victim in [10, 14, 18, 22, 26, 30] {
-        net.fail(victim);
+        net.fail(victim).unwrap();
     }
-    net.run_until(net.time() + SimTime::from_secs(40));
-    net.refresh_all_subscriptions();
-    net.run_until(net.time() + SimTime::from_secs(10));
+    net.run_until(net.time() + SimTime::from_secs(50));
     let mut rng = SmallRng::seed_from_u64(5);
     let before = net.event_stats().len();
     for _ in 0..40 {
@@ -86,7 +88,7 @@ fn failed_rendezvous_successor_takes_over() {
 
 #[test]
 fn messages_to_dead_nodes_are_counted_and_retried() {
-    let mut net = test_network(32, 71, SystemConfig::default());
+    let mut net = test_network(32, 71, SystemConfig::default().with_self_healing());
     net.enable_maintenance();
     net.subscribe(
         0,
@@ -94,11 +96,11 @@ fn messages_to_dead_nodes_are_counted_and_retried() {
         Subscription::new(Rect::new(vec![0.0, 0.0], vec![100.0, 100.0])),
     );
     net.run_until(net.time() + SimTime::from_secs(5));
-    net.fail(20);
+    net.fail(20).unwrap();
     // Publish immediately — stale fingers may still route via node 20.
     // Fail-stop retry repairs *routing* on the fly; only events whose
     // matching *state* (rendezvous chain segment) lived on node 20 can
-    // miss until the soft-state refresh below.
+    // miss until replication promotes it on the successor.
     let before = net.event_stats().len();
     let mut rng = SmallRng::seed_from_u64(6);
     for _ in 0..30 {
@@ -113,9 +115,9 @@ fn messages_to_dead_nodes_are_counted_and_retried() {
         "retry-around-failure must deliver the vast majority immediately: {delivered_pre}/30"
     );
 
-    // After refresh, everything delivers again.
-    net.refresh_all_subscriptions();
-    net.run_until(net.time() + SimTime::from_secs(10));
+    // The 60-second window above spans many lease periods, so by now
+    // promotion + lease re-push have rebuilt everything node 20 owned:
+    // delivery is complete again.
     let before2 = net.event_stats().len();
     for _ in 0..30 {
         let p = Point(vec![rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)]);
@@ -124,7 +126,7 @@ fn messages_to_dead_nodes_are_counted_and_retried() {
     net.run_until(net.time() + SimTime::from_secs(60));
     let all = net.event_stats();
     let delivered_post = all[before2..].iter().filter(|s| s.delivered == 1).count();
-    assert_eq!(delivered_post, 30, "post-refresh delivery must be complete");
+    assert_eq!(delivered_post, 30, "post-repair delivery must be complete");
     assert!(
         net.net().dropped() > 0,
         "messages to the dead node must be counted"

@@ -5,8 +5,9 @@
 //! the ack/retry protocol layer:
 //!
 //! * a 30-simulated-second bisection of the ring silently drops cross-cut
-//!   traffic, heals on schedule, and a post-heal soft-state refresh
-//!   restores complete, duplicate-free delivery;
+//!   traffic, heals on schedule, and the soft-state leases re-install the
+//!   lost registrations within a couple of periods — restoring complete,
+//!   duplicate-free delivery with no global refresh;
 //! * 1% uniform loss with retries enabled still delivers ≥ 99% of the
 //!   expected `(event, subscriber)` pairs with zero duplicates, while the
 //!   same scenario with retries disabled measurably degrades;
@@ -32,13 +33,17 @@ fn point_for(p: usize) -> Point {
 
 #[test]
 fn bisection_heals_and_delivery_completes() {
-    let mut net = test_network(NODES, 42, SystemConfig::default().with_retries());
+    let mut net = test_network(
+        NODES,
+        42,
+        SystemConfig::default().with_retries().with_self_healing(),
+    );
 
     // Pre-partition subscriptions register on the healthy network.
     for i in 0..48 {
         net.subscribe(i, 0, Subscription::new(rect_for(i)));
     }
-    net.run_to_quiescence();
+    net.run_until(net.time() + SimTime::from_secs(10));
 
     // Bisect: nodes 0..32 vs 32..64 for 30 simulated seconds.
     let t0 = net.time();
@@ -62,17 +67,17 @@ fn bisection_heals_and_delivery_completes() {
         .collect();
     net.run_until(heal);
 
-    // Healed: soft-state refresh re-registers everything, then new
-    // publishes must reach the full expected match set.
-    net.refresh_all_subscriptions();
-    net.run_to_quiescence();
+    // Healed: each subscriber's lease re-pushes its registrations on the
+    // next tick, so a window of a few periods restores everything the
+    // partition ate — then new publishes must reach the full match set.
+    net.run_until(heal + SimTime::from_secs(15));
     let after: Vec<u64> = (0..8)
         .map(|p| {
             net.publish((p * 11 + 3) % NODES, 0, point_for(p + 100))
                 .unwrap()
         })
         .collect();
-    net.run_to_quiescence();
+    net.run_until(net.time() + SimTime::from_secs(15));
 
     let stats = net.event_stats();
     let sum = |ids: &[u64]| {
@@ -95,7 +100,7 @@ fn bisection_heals_and_delivery_completes() {
     assert!(exp_after > 0, "post-heal events must have expected matches");
     assert_eq!(
         del_after, exp_after,
-        "after heal + refresh, delivery must be complete"
+        "after heal + lease re-push, delivery must be complete"
     );
     assert_eq!(dup_after, 0, "no duplicate deliveries after heal");
 
@@ -174,11 +179,15 @@ fn one_percent_loss_without_retries_measurably_degrades() {
 /// after the partition lifted, while deliveries demonstrably flowed.
 #[test]
 fn trace_shows_no_drops_after_heal() {
-    let mut net = test_network(NODES, 42, SystemConfig::default().with_retries());
+    let mut net = test_network(
+        NODES,
+        42,
+        SystemConfig::default().with_retries().with_self_healing(),
+    );
     for i in 0..NODES {
         net.subscribe(i, 0, Subscription::new(rect_for(i)));
     }
-    net.run_to_quiescence();
+    net.run_until(net.time() + SimTime::from_secs(10));
 
     let t0 = net.time();
     let heal = t0 + SimTime::from_secs(30);
@@ -190,8 +199,9 @@ fn trace_shows_no_drops_after_heal() {
             .unwrap();
     }
     net.run_until(heal);
-    net.refresh_all_subscriptions();
-    net.run_to_quiescence();
+    // Leases repair the soft state the partition ate; give them a couple
+    // of periods before starting the recorded window.
+    net.run_until(heal + SimTime::from_secs(15));
 
     // Record only the healed window.
     net.enable_recording(1 << 16);
@@ -199,7 +209,7 @@ fn trace_shows_no_drops_after_heal() {
         net.publish((p * 11 + 3) % NODES, 0, point_for(p + 100))
             .unwrap();
     }
-    net.run_to_quiescence();
+    net.run_until(net.time() + SimTime::from_secs(10));
 
     let rec = net.recorder().expect("recording enabled");
     assert_eq!(rec.evicted(), 0, "window must fit the ring buffer");

@@ -1,0 +1,37 @@
+//! Compile-and-run check for the README churn / self-healing snippet.
+
+use hypersub_core::prelude::*;
+
+#[test]
+fn readme_churn_snippet_runs() {
+    let scheme = SchemeDef::builder("quotes")
+        .attribute("price", 0.0, 100.0)
+        .attribute("volume", 0.0, 100.0)
+        .build(0);
+    let mut net = Network::builder(32)
+        .registry(Registry::new(vec![scheme]))
+        .config(SystemConfig::default().with_self_healing())
+        .seed(7)
+        .build()
+        .expect("valid configuration");
+    net.enable_maintenance();
+
+    net.subscribe(
+        3,
+        0,
+        Subscription::new(Rect::new(vec![10.0, 0.0], vec![20.0, 100.0])),
+    );
+    net.run_until(net.time() + SimTime::from_secs(10));
+
+    // Kill a node. Stabilization heals the ring; the dead node's successor
+    // promotes its replicated subscription state; leases re-push the rest.
+    net.fail(20).expect("node 20 is alive");
+    net.run_until(net.time() + SimTime::from_secs(40));
+
+    net.publish(5, 0, Point(vec![15.0, 42.0])).unwrap();
+    net.run_until(net.time() + SimTime::from_secs(10));
+
+    let s = &net.event_stats()[0];
+    assert_eq!(s.delivered, s.expected);
+    assert_eq!(s.duplicates, 0);
+}

@@ -1,0 +1,161 @@
+//! Acceptance tests for the self-healing subscription plane: successor
+//! replication + soft-state leases bound the delivery-loss window around
+//! a node failure, and a revived node re-joins the ring cleanly.
+
+use hypersub_core::advanced::SimAccess;
+use hypersub_core::prelude::*;
+use hypersub_tests::test_network;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const NODES: usize = 32;
+const VICTIM: usize = 20;
+
+/// Publishes continuously across a node failure and returns
+/// `(lost_pairs, tail_lost_pairs)`: total `(event, subscriber)` pairs
+/// lost over the whole stream, and pairs lost among the final quarter of
+/// events (long after any repair should have converged).
+fn loss_window_run(heal: bool) -> (usize, usize) {
+    let config = if heal {
+        SystemConfig::default().with_self_healing()
+    } else {
+        SystemConfig::default()
+    };
+    let mut net = test_network(NODES, 4242, config);
+    net.enable_maintenance();
+    let mut rng = SmallRng::seed_from_u64(9);
+    // Subscribers 0..8 hold wide staggered bands, so the victim owns a
+    // slice of nearly every subscription's rendezvous chain.
+    for node in 0..8 {
+        let lo = (node * 9) as f64;
+        net.subscribe(
+            node,
+            0,
+            Subscription::new(Rect::new(vec![lo, 0.0], vec![lo + 28.0, 100.0])),
+        );
+    }
+    net.run_until(net.time() + SimTime::from_secs(10));
+
+    // Fail the two non-subscriber nodes holding the most rendezvous
+    // entries — guaranteeing subscription state actually dies with them.
+    // (Repository contents are identical in both runs: replication copies
+    // state beside the repos, never into them.)
+    let mut by_load: Vec<(usize, usize)> = (8..NODES)
+        .map(|i| {
+            let n = net.sim().node(i);
+            (n.repos.values().map(|r| r.entries.len()).sum::<usize>(), i)
+        })
+        .collect();
+    by_load.sort_unstable_by(|a, b| b.cmp(a));
+    assert!(by_load[1].0 > 0, "scenario must place state on the victims");
+    for &(_, v) in &by_load[..2] {
+        net.fail(v).unwrap();
+    }
+
+    // 100 publishes over 50 s: the stream spans failure detection,
+    // stabilization, promotion, and several lease periods.
+    let mut t = net.time();
+    let mut ids = Vec::new();
+    for _ in 0..100 {
+        let node = rng.gen_range(0..8usize); // subscribers publish; all live
+        let p = Point(vec![rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)]);
+        ids.push(net.schedule_publish(t, node, 0, p).unwrap());
+        t += SimTime::from_millis(500);
+    }
+    net.run_until(t + SimTime::from_secs(30));
+
+    let stats = net.event_stats();
+    let lost_for = |ids: &[u64]| {
+        ids.iter()
+            .map(|id| {
+                let s = stats.iter().find(|s| s.event == *id).unwrap();
+                assert_eq!(s.duplicates, 0, "repair must never duplicate deliveries");
+                s.expected - s.delivered
+            })
+            .sum::<usize>()
+    };
+    (lost_for(&ids), lost_for(&ids[75..]))
+}
+
+#[test]
+fn replication_and_leases_bound_the_loss_window() {
+    let (lost_off, tail_off) = loss_window_run(false);
+    let (lost_heal, tail_heal) = loss_window_run(true);
+    // Without self-healing (and no global refresh), state the victim
+    // owned stays gone: loss persists to the end of the stream.
+    assert!(
+        lost_off > 0,
+        "the crutch-free baseline must lose deliveries ({lost_off} lost)"
+    );
+    assert!(
+        tail_off > 0,
+        "without repair, loss must persist into the tail ({tail_off} lost)"
+    );
+    // With replication + leases, the loss window closes: strictly fewer
+    // pairs lost overall, and the tail (long after promotion) is clean.
+    assert!(
+        lost_heal < lost_off,
+        "self-healing must recover deliveries the baseline loses \
+         ({lost_heal} vs {lost_off})"
+    );
+    assert_eq!(
+        tail_heal, 0,
+        "after promotion + lease convergence, no pair may be lost"
+    );
+}
+
+#[test]
+fn revived_node_rejoins_and_resumes_ownership() {
+    let mut net = test_network(NODES, 4711, SystemConfig::default().with_self_healing());
+    net.enable_maintenance();
+    for node in 0..8 {
+        net.subscribe(
+            node,
+            0,
+            Subscription::new(Rect::new(vec![0.0, 0.0], vec![100.0, 100.0])),
+        );
+    }
+    net.run_until(net.time() + SimTime::from_secs(10));
+
+    net.fail(VICTIM).unwrap();
+    net.run_until(net.time() + SimTime::from_secs(40));
+
+    // While the victim is down, its successor serves the promoted state.
+    let mut rng = SmallRng::seed_from_u64(3);
+    let before = net.event_stats().len();
+    for _ in 0..10 {
+        let p = Point(vec![rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)]);
+        net.publish(rng.gen_range(0..8), 0, p).unwrap();
+    }
+    net.run_until(net.time() + SimTime::from_secs(30));
+    for s in &net.event_stats()[before..] {
+        assert_eq!(s.delivered, 8, "successor must serve the promoted state");
+        assert_eq!(s.duplicates, 0);
+    }
+
+    // Revive: the node re-joins with its stale soft state dropped, the
+    // ring reintegrates it, and the leases repopulate its repositories.
+    net.revive(VICTIM).unwrap();
+    net.run_until(net.time() + SimTime::from_secs(40));
+    assert!(
+        !net.sim().node(VICTIM).repos.is_empty(),
+        "the revived node must resume owning rendezvous state"
+    );
+
+    let before = net.event_stats().len();
+    for _ in 0..10 {
+        let p = Point(vec![rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)]);
+        net.publish(rng.gen_range(0..8), 0, p).unwrap();
+    }
+    net.run_until(net.time() + SimTime::from_secs(30));
+    for s in &net.event_stats()[before..] {
+        assert_eq!(
+            s.delivered, 8,
+            "delivery through the re-joined node must be complete"
+        );
+        assert_eq!(
+            s.duplicates, 0,
+            "stale pre-failure state must not resurface"
+        );
+    }
+}

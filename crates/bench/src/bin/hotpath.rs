@@ -18,10 +18,21 @@
 //! installed and writes the full run [`Report`](hypersub_core::report)
 //! as JSON — the artifact `report diff` compares in CI. Recording is
 //! digest-neutral, so the reported digest equals the timed run's.
+//!
+//! Checkpoint/restore mode (the split-run equivalence harness):
+//!
+//! * `hotpath [--quick] --checkpoint-at SECS --out SNAP` runs the pinned
+//!   workload until simulated time `SECS` seconds, then writes a
+//!   whole-network snapshot to `SNAP` and exits (no bench JSON).
+//! * `hotpath --resume SNAP [--expect-digest 0xHEX] [--report PATH]`
+//!   restores `SNAP` in a fresh process, runs to completion, and prints
+//!   the run digest. With `--expect-digest` it exits nonzero unless the
+//!   digest matches — CI uses this to prove the split run reproduces the
+//!   straight-through digest bit-for-bit.
 
 use hypersub_core::config::SystemConfig;
 use hypersub_core::model::Registry;
-use hypersub_core::sim::{Network, TopologyKind};
+use hypersub_core::sim::{Network, SnapshotConfig, TopologyKind};
 use hypersub_simnet::SimTime;
 use hypersub_workload::{WorkloadGen, WorkloadSpec};
 use std::time::Instant;
@@ -120,6 +131,56 @@ fn run_pinned(p: &Pinned, record: bool) -> (RunOutcome, Network) {
     (outcome, net)
 }
 
+/// Checkpoint mode: run the pinned workload (setup + full publish
+/// schedule, exactly as [`run_pinned`] would) on a snapshot-enabled
+/// network, stop at simulated time `at`, and return the sealed snapshot
+/// bytes. The schedule is installed up front, so the snapshot carries
+/// every not-yet-delivered publish and the resumed process needs no
+/// workload generator at all.
+fn run_checkpoint(p: &Pinned, at: SimTime) -> Vec<u8> {
+    let spec = WorkloadSpec::paper_table1();
+    let registry = Registry::new(vec![spec.scheme_def(0)]);
+    let mut net = Network::builder(p.nodes)
+        .registry(registry)
+        .config(SystemConfig::default())
+        .topology(TopologyKind::KingLike(SimTime::from_millis(180)))
+        .seed(p.seed)
+        .snapshots(SnapshotConfig::enabled())
+        .build()
+        .expect("valid pinned configuration");
+    let mut gen = WorkloadGen::new(spec, p.seed ^ 0xabcd);
+    for node in 0..p.nodes {
+        for _ in 0..p.subs_per_node {
+            net.subscribe(node, 0, gen.subscription());
+        }
+    }
+    net.run_to_quiescence();
+
+    let mut t = net.time() + SimTime::from_secs(1);
+    for _ in 0..p.events {
+        let node = gen.random_node(p.nodes);
+        net.schedule_publish(t, node, 0, gen.event_point())
+            .expect("publisher index in range");
+        t += gen.interarrival();
+    }
+    net.run_until(at);
+    eprintln!(
+        "hotpath checkpoint: paused at t={} us after {} sim events",
+        net.time().as_micros(),
+        net.steps()
+    );
+    net.snapshot().expect("snapshot a snapshot-enabled network")
+}
+
+/// Resume mode: restore a snapshot written by [`run_checkpoint`] and run
+/// the remaining schedule to quiescence. Returns the finished network;
+/// its digest must equal the straight-through run's.
+fn run_resume(bytes: &[u8]) -> Network {
+    let mut net = Network::restore(bytes).expect("restore snapshot");
+    net.run_to_quiescence();
+    net
+}
+
 /// One run entry, serialized as a single JSON line so the merge logic
 /// below can treat the file line-by-line without a JSON parser.
 fn entry_json(label: &str, mode: &str, p: &Pinned, o: &RunOutcome) -> String {
@@ -185,6 +246,46 @@ fn main() {
     } else {
         Pinned::full()
     };
+
+    if let Some(path) = flag("--resume") {
+        let bytes = std::fs::read(&path).expect("read snapshot file");
+        let net = run_resume(&bytes);
+        let digest = net.run_digest();
+        eprintln!(
+            "hotpath resume: finished at t={} us, {} sim events, digest {digest:#018x}",
+            net.time().as_micros(),
+            net.steps()
+        );
+        if let Some(rpath) = &report_path {
+            std::fs::write(rpath, net.report().to_json()).expect("write run report");
+            eprintln!("hotpath resume: run report written to {rpath}");
+        }
+        println!("{digest:#018x}");
+        if let Some(expect) = flag("--expect-digest") {
+            let want = u64::from_str_radix(expect.trim_start_matches("0x"), 16)
+                .expect("--expect-digest takes a hex digest");
+            if digest != want {
+                eprintln!(
+                    "hotpath resume: DIGEST DRIFT — expected {want:#018x}, got {digest:#018x}"
+                );
+                std::process::exit(1);
+            }
+            eprintln!("hotpath resume: digest matches expected {want:#018x}");
+        }
+        return;
+    }
+
+    if let Some(at) = flag("--checkpoint-at") {
+        let secs: f64 = at.parse().expect("--checkpoint-at takes seconds");
+        eprintln!(
+            "hotpath checkpoint [{mode}]: {} nodes, {} events, seed {:#x}, pausing at t={secs}s",
+            p.nodes, p.events, p.seed
+        );
+        let bytes = run_checkpoint(&p, SimTime::from_micros((secs * 1e6) as u64));
+        std::fs::write(&out, &bytes).expect("write snapshot file");
+        println!("wrote {out} ({} bytes)", bytes.len());
+        return;
+    }
 
     eprintln!(
         "hotpath [{mode}]: {} nodes, {} subs/node, {} events, seed {:#x}",

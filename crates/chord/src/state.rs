@@ -1,6 +1,7 @@
 //! Per-node Chord routing state.
 
 use crate::id::{in_open_closed, in_open_open, NodeId};
+use hypersub_snapshot::{Decode, Encode, Error, Reader, Writer};
 
 /// A reference to another node: its ring identifier plus its simulator
 /// index (the "network address").
@@ -181,6 +182,50 @@ impl ChordState {
             push(p);
         }
         out
+    }
+}
+
+impl Encode for Peer {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.id);
+        self.idx.encode(w);
+    }
+}
+
+impl Decode for Peer {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(Peer {
+            id: r.take_u64()?,
+            idx: usize::decode(r)?,
+        })
+    }
+}
+
+impl Encode for ChordState {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.id);
+        self.idx.encode(w);
+        self.predecessor.encode(w);
+        self.successors.encode(w);
+        self.fingers.encode(w);
+        self.succ_list_len.encode(w);
+    }
+}
+
+impl Decode for ChordState {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let st = ChordState {
+            id: r.take_u64()?,
+            idx: usize::decode(r)?,
+            predecessor: Option::<Peer>::decode(r)?,
+            successors: Vec::<Peer>::decode(r)?,
+            fingers: Vec::<Option<Peer>>::decode(r)?,
+            succ_list_len: usize::decode(r)?,
+        };
+        if st.fingers.len() != NUM_FINGERS || st.succ_list_len == 0 {
+            return Err(Error::InvalidValue("chord state shape"));
+        }
+        Ok(st)
     }
 }
 

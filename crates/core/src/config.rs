@@ -2,6 +2,7 @@
 
 use hypersub_lph::ZoneParams;
 use hypersub_simnet::SimTime;
+use hypersub_snapshot::{Decode, Encode, Error, Reader, Writer};
 
 /// Load-balancing configuration (§4, "Dynamic Subscriptions Migration").
 #[derive(Debug, Clone)]
@@ -157,6 +158,86 @@ impl SystemConfig {
     pub fn with_self_healing(mut self) -> Self {
         self.heal.enabled = true;
         self
+    }
+}
+
+impl Encode for LbConfig {
+    fn encode(&self, w: &mut Writer) {
+        self.enabled.encode(w);
+        self.period.encode(w);
+        self.delta.encode(w);
+        w.put_u8(self.probe_level);
+        self.max_targets.encode(w);
+        w.put_u64(self.min_load);
+    }
+}
+
+impl Decode for LbConfig {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(LbConfig {
+            enabled: bool::decode(r)?,
+            period: SimTime::decode(r)?,
+            delta: f64::decode(r)?,
+            probe_level: r.take_u8()?,
+            max_targets: usize::decode(r)?,
+            min_load: r.take_u64()?,
+        })
+    }
+}
+
+impl Encode for RetryConfig {
+    fn encode(&self, w: &mut Writer) {
+        self.enabled.encode(w);
+        self.base_timeout.encode(w);
+        w.put_u32(self.max_attempts);
+    }
+}
+
+impl Decode for RetryConfig {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(RetryConfig {
+            enabled: bool::decode(r)?,
+            base_timeout: SimTime::decode(r)?,
+            max_attempts: r.take_u32()?,
+        })
+    }
+}
+
+impl Encode for HealConfig {
+    fn encode(&self, w: &mut Writer) {
+        self.enabled.encode(w);
+        self.replication_factor.encode(w);
+        self.lease_period.encode(w);
+    }
+}
+
+impl Decode for HealConfig {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(HealConfig {
+            enabled: bool::decode(r)?,
+            replication_factor: usize::decode(r)?,
+            lease_period: SimTime::decode(r)?,
+        })
+    }
+}
+
+impl Encode for SystemConfig {
+    fn encode(&self, w: &mut Writer) {
+        self.zone.encode(w);
+        self.lb.encode(w);
+        self.retry.encode(w);
+        self.heal.encode(w);
+    }
+}
+
+impl Decode for SystemConfig {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(SystemConfig {
+            zone: ZoneParams::decode(r)?,
+            lb: LbConfig::decode(r)?,
+            retry: RetryConfig::decode(r)?,
+            heal: HealConfig::decode(r)?,
+        })
     }
 }
 

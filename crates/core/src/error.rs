@@ -47,6 +47,18 @@ pub enum HyperSubError {
     },
     /// A builder was given an inconsistent or unusable configuration.
     InvalidConfig(&'static str),
+    /// [`crate::sim::Network::snapshot`] was called on a network built
+    /// without [`crate::sim::SnapshotConfig`] enabled.
+    SnapshotsDisabled,
+    /// A snapshot could not be encoded or decoded (corrupt bytes, a
+    /// version mismatch, or state the format cannot capture).
+    Snapshot(hypersub_snapshot::Error),
+}
+
+impl From<hypersub_snapshot::Error> for HyperSubError {
+    fn from(e: hypersub_snapshot::Error) -> Self {
+        HyperSubError::Snapshot(e)
+    }
 }
 
 impl fmt::Display for HyperSubError {
@@ -69,6 +81,14 @@ impl fmt::Display for HyperSubError {
                 write!(f, "subscription {sub:?} does not belong to node {node}")
             }
             HyperSubError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            HyperSubError::SnapshotsDisabled => {
+                write!(
+                    f,
+                    "snapshots are not enabled on this network \
+                     (build with SnapshotConfig::enabled())"
+                )
+            }
+            HyperSubError::Snapshot(e) => write!(f, "snapshot error: {e}"),
         }
     }
 }

@@ -134,9 +134,7 @@ pub mod prelude {
     pub use crate::model::{Event, Registry, SchemeDef, SchemeId, SubId, Subscription};
     pub use crate::node::HyperSubNode;
     pub use crate::report::Report;
-    #[allow(deprecated)]
-    pub use crate::sim::NetworkParams;
-    pub use crate::sim::{Network, NetworkBuilder, TopologyKind};
+    pub use crate::sim::{Network, NetworkBuilder, SnapshotConfig, TopologyKind};
     pub use hypersub_lph::{ContentSpace, Point, Rect, ZoneParams};
     pub use hypersub_simnet::{FaultPlane, FlightRecorder, LinkPolicy, SimTime};
 }

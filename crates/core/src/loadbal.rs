@@ -21,6 +21,7 @@ use crate::world::HyperWorld;
 use hypersub_chord::Peer;
 use hypersub_lph::Rect;
 use hypersub_simnet::{Ctx, ProtoEvent};
+use hypersub_snapshot::{Decode, Encode, Error, Reader, Writer};
 use std::collections::{HashMap, HashSet};
 
 /// Where an offered subscription currently lives on this node.
@@ -441,6 +442,70 @@ impl HyperSubNode {
                 }
             }
         }
+    }
+}
+
+impl Encode for SubOrigin {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            SubOrigin::OwnRepo => w.put_u8(0),
+            SubOrigin::Hosted(iid) => {
+                w.put_u8(1);
+                w.put_u32(*iid);
+            }
+        }
+    }
+}
+
+impl Decode for SubOrigin {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(match r.take_u8()? {
+            0 => SubOrigin::OwnRepo,
+            1 => SubOrigin::Hosted(r.take_u32()?),
+            _ => return Err(Error::InvalidValue("sub origin tag")),
+        })
+    }
+}
+
+impl Encode for OfferItem {
+    fn encode(&self, w: &mut Writer) {
+        self.origin.encode(w);
+        self.subid.encode(w);
+        self.full.encode(w);
+    }
+}
+
+impl Decode for OfferItem {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(OfferItem {
+            origin: SubOrigin::decode(r)?,
+            subid: SubId::decode(r)?,
+            full: Rect::decode(r)?,
+        })
+    }
+}
+
+impl Encode for LbState {
+    fn encode(&self, w: &mut Writer) {
+        crate::repo::encode_map_sorted(&self.samples, w);
+        crate::repo::encode_set_sorted(&self.pending, w);
+        crate::repo::encode_map_sorted(&self.in_flight, w);
+        w.put_u64(self.rounds);
+        w.put_u64(self.migrated_out);
+        crate::repo::encode_map_sorted(&self.migrated_index, w);
+    }
+}
+
+impl Decode for LbState {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(LbState {
+            samples: crate::repo::decode_map(r)?,
+            pending: crate::repo::decode_set(r)?,
+            in_flight: crate::repo::decode_map(r)?,
+            rounds: r.take_u64()?,
+            migrated_out: r.take_u64()?,
+            migrated_index: crate::repo::decode_map(r)?,
+        })
     }
 }
 

@@ -10,6 +10,7 @@
 
 use crate::model::SubId;
 use hypersub_simnet::{NetStats, SimTime};
+use hypersub_snapshot::{Decode, Encode, Error, Reader, Writer};
 use std::collections::HashMap;
 
 /// One recorded publish.
@@ -24,7 +25,7 @@ pub struct PublishRecord {
 }
 
 /// One recorded delivery to a subscriber.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeliveryRecord {
     /// The event delivered.
     pub event: u64,
@@ -308,6 +309,158 @@ impl Metrics {
             .collect();
         out.sort_unstable_by_key(|s| s.event);
         out
+    }
+}
+
+impl Encode for PublishRecord {
+    fn encode(&self, w: &mut Writer) {
+        self.time.encode(w);
+        self.node.encode(w);
+        self.expected.encode(w);
+    }
+}
+
+impl Decode for PublishRecord {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(PublishRecord {
+            time: SimTime::decode(r)?,
+            node: usize::decode(r)?,
+            expected: usize::decode(r)?,
+        })
+    }
+}
+
+impl Encode for DeliveryRecord {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.event);
+        self.subid.encode(w);
+        self.time.encode(w);
+        w.put_u32(self.hops);
+    }
+}
+
+impl Decode for DeliveryRecord {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(DeliveryRecord {
+            event: r.take_u64()?,
+            subid: SubId::decode(r)?,
+            time: SimTime::decode(r)?,
+            hops: r.take_u32()?,
+        })
+    }
+}
+
+impl Encode for PerNodeCounter {
+    fn encode(&self, w: &mut Writer) {
+        self.v.encode(w);
+    }
+}
+
+impl Decode for PerNodeCounter {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(PerNodeCounter {
+            v: Vec::<u64>::decode(r)?,
+        })
+    }
+}
+
+impl Encode for LogHistogram {
+    fn encode(&self, w: &mut Writer) {
+        self.buckets.encode(w);
+        w.put_u64(self.count);
+        w.put_u64(self.sum);
+        w.put_u64(self.max);
+    }
+}
+
+impl Decode for LogHistogram {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let h = LogHistogram {
+            buckets: <[u64; 65]>::decode(r)?,
+            count: r.take_u64()?,
+            sum: r.take_u64()?,
+            max: r.take_u64()?,
+        };
+        if h.buckets.iter().sum::<u64>() != h.count {
+            return Err(Error::InvalidValue("histogram bucket/count mismatch"));
+        }
+        Ok(h)
+    }
+}
+
+impl Encode for ProtoMetrics {
+    fn encode(&self, w: &mut Writer) {
+        self.retry_attempts.encode(w);
+        self.retry_give_ups.encode(w);
+        self.acks.encode(w);
+        self.ack_latency_us.encode(w);
+        self.delivery_splits.encode(w);
+        self.delivery_fanout.encode(w);
+        self.rendezvous_matches.encode(w);
+        self.sub_registers.encode(w);
+        self.chain_pushes.encode(w);
+        self.migration_rounds.encode(w);
+        self.migrated_subs.encode(w);
+        self.lease_refreshes.encode(w);
+        self.replica_entries.encode(w);
+        self.promotions.encode(w);
+        self.rehomed_subs.encode(w);
+    }
+}
+
+impl Decode for ProtoMetrics {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(ProtoMetrics {
+            retry_attempts: PerNodeCounter::decode(r)?,
+            retry_give_ups: PerNodeCounter::decode(r)?,
+            acks: PerNodeCounter::decode(r)?,
+            ack_latency_us: LogHistogram::decode(r)?,
+            delivery_splits: PerNodeCounter::decode(r)?,
+            delivery_fanout: LogHistogram::decode(r)?,
+            rendezvous_matches: PerNodeCounter::decode(r)?,
+            sub_registers: PerNodeCounter::decode(r)?,
+            chain_pushes: PerNodeCounter::decode(r)?,
+            migration_rounds: PerNodeCounter::decode(r)?,
+            migrated_subs: PerNodeCounter::decode(r)?,
+            lease_refreshes: PerNodeCounter::decode(r)?,
+            replica_entries: PerNodeCounter::decode(r)?,
+            promotions: PerNodeCounter::decode(r)?,
+            rehomed_subs: PerNodeCounter::decode(r)?,
+        })
+    }
+}
+
+impl Encode for Metrics {
+    fn encode(&self, w: &mut Writer) {
+        let mut events: Vec<u64> = self.publishes.keys().copied().collect();
+        events.sort_unstable();
+        w.put_u64(events.len() as u64);
+        for e in events {
+            w.put_u64(e);
+            self.publishes[&e].encode(w);
+        }
+        // Delivery records in arrival order — `event_stats` output and
+        // digest inputs depend on it.
+        self.deliveries.encode(w);
+        self.proto.encode(w);
+    }
+}
+
+impl Decode for Metrics {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let n = r.take_u64()? as usize;
+        let mut publishes = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let e = r.take_u64()?;
+            if publishes.insert(e, PublishRecord::decode(r)?).is_some() {
+                return Err(Error::InvalidValue("duplicate publish record"));
+            }
+        }
+        Ok(Metrics {
+            publishes,
+            deliveries: Vec::<DeliveryRecord>::decode(r)?,
+            proto: ProtoMetrics::decode(r)?,
+        })
     }
 }
 

@@ -14,6 +14,7 @@
 //! rendezvous zone per subscheme.
 
 use hypersub_lph::{rotation_offset, ContentSpace, Point, Rect};
+use hypersub_snapshot::{Decode, Encode, Error, Reader, Writer};
 use serde::{Deserialize, Serialize};
 
 /// Identifies a pub/sub scheme within a [`Registry`].
@@ -324,6 +325,126 @@ impl Registry {
     /// True when no schemes are registered.
     pub fn is_empty(&self) -> bool {
         self.schemes.is_empty()
+    }
+}
+
+impl Encode for SubId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.nid);
+        w.put_u32(self.iid);
+    }
+}
+
+impl Decode for SubId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(SubId {
+            nid: r.take_u64()?,
+            iid: r.take_u32()?,
+        })
+    }
+}
+
+impl Encode for SubTarget {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.nid);
+        self.iid.encode(w);
+    }
+}
+
+impl Decode for SubTarget {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(SubTarget {
+            nid: r.take_u64()?,
+            iid: Option::<u32>::decode(r)?,
+        })
+    }
+}
+
+impl Encode for Event {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.id);
+        self.point.encode(w);
+    }
+}
+
+impl Decode for Event {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(Event {
+            id: r.take_u64()?,
+            point: Point::decode(r)?,
+        })
+    }
+}
+
+impl Encode for Subscription {
+    fn encode(&self, w: &mut Writer) {
+        self.rect.encode(w);
+    }
+}
+
+impl Decode for Subscription {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(Subscription {
+            rect: Rect::decode(r)?,
+        })
+    }
+}
+
+impl Encode for SubschemeDef {
+    fn encode(&self, w: &mut Writer) {
+        self.attrs.encode(w);
+        self.space.encode(w);
+        w.put_u64(self.rotation);
+    }
+}
+
+impl Decode for SubschemeDef {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(SubschemeDef {
+            attrs: Vec::<usize>::decode(r)?,
+            space: ContentSpace::decode(r)?,
+            rotation: r.take_u64()?,
+        })
+    }
+}
+
+impl Encode for SchemeDef {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.id);
+        self.name.encode(w);
+        self.attr_names.encode(w);
+        self.space.encode(w);
+        self.subschemes.encode(w);
+    }
+}
+
+impl Decode for SchemeDef {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(SchemeDef {
+            id: r.take_u32()?,
+            name: String::decode(r)?,
+            attr_names: Vec::<String>::decode(r)?,
+            space: ContentSpace::decode(r)?,
+            subschemes: Vec::<SubschemeDef>::decode(r)?,
+        })
+    }
+}
+
+impl Encode for Registry {
+    fn encode(&self, w: &mut Writer) {
+        self.schemes.encode(w);
+    }
+}
+
+impl Decode for Registry {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let schemes = Vec::<SchemeDef>::decode(r)?;
+        for (i, s) in schemes.iter().enumerate() {
+            if s.id as usize != i {
+                return Err(Error::InvalidValue("registry scheme id/index"));
+            }
+        }
+        Ok(Registry { schemes })
     }
 }
 

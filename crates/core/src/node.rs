@@ -8,6 +8,7 @@ use crate::world::HyperWorld;
 use hypersub_chord::proto::MaintState;
 use hypersub_chord::ChordState;
 use hypersub_simnet::{Ctx, FxHashMap, Node};
+use hypersub_snapshot::{Decode, Encode, Error, Reader, Writer};
 use std::sync::Arc;
 
 /// A capacity-bounded first-in-first-out set used to process each
@@ -318,6 +319,116 @@ impl Node<HyperMsg, HyperWorld> for HyperSubNode {
             }
             _ => {}
         }
+    }
+}
+
+impl Encode for DedupCache {
+    fn encode(&self, w: &mut Writer) {
+        self.capacity.encode(w);
+        // FIFO order is the authoritative state; the membership set is
+        // derived from it on decode.
+        w.put_u64(self.order.len() as u64);
+        for pair in &self.order {
+            pair.encode(w);
+        }
+    }
+}
+
+impl Decode for DedupCache {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let capacity = usize::decode(r)?;
+        if capacity == 0 {
+            return Err(Error::InvalidValue("dedup cache capacity"));
+        }
+        let n = r.take_u64()? as usize;
+        if n > capacity {
+            return Err(Error::InvalidValue("dedup cache overfull"));
+        }
+        let mut order = std::collections::VecDeque::with_capacity(n);
+        let mut set = FxHashSet::default();
+        for _ in 0..n {
+            let pair = <(u64, u32)>::decode(r)?;
+            if !set.insert(pair) {
+                return Err(Error::InvalidValue("dedup cache duplicate"));
+            }
+            order.push_back(pair);
+        }
+        Ok(DedupCache {
+            set,
+            order,
+            capacity,
+        })
+    }
+}
+
+impl Encode for IidTarget {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            IidTarget::Local => w.put_u8(0),
+            IidTarget::Repo(key) => {
+                w.put_u8(1);
+                key.encode(w);
+            }
+            IidTarget::Hosted => w.put_u8(2),
+        }
+    }
+}
+
+impl Decode for IidTarget {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(match r.take_u8()? {
+            0 => IidTarget::Local,
+            1 => IidTarget::Repo(RepoKey::decode(r)?),
+            2 => IidTarget::Hosted,
+            _ => return Err(Error::InvalidValue("iid target tag")),
+        })
+    }
+}
+
+impl HyperSubNode {
+    /// Encodes this node's complete protocol state. The shared `registry`
+    /// and `cfg` are *not* written here — the network snapshot encodes
+    /// them once and hands the shared `Arc`s back in on decode.
+    pub fn snapshot_encode(&self, w: &mut Writer) {
+        self.maint.encode(w);
+        crate::repo::encode_map_sorted(&self.repos, w);
+        crate::repo::encode_map_sorted(&self.iids, w);
+        crate::repo::encode_map_sorted(&self.local_subs, w);
+        crate::repo::encode_map_sorted(&self.hosted, w);
+        self.lb.encode(w);
+        self.maintenance.encode(w);
+        self.dedup.encode(w);
+        self.rel.encode(w);
+        crate::repo::encode_map_sorted(&self.replicas, w);
+        self.capacity.encode(w);
+        w.put_u32(self.next_iid);
+        // Delivery scratch buffers are transient per-`step` storage and
+        // never survive a quiesce point; a fresh default is equivalent.
+    }
+
+    /// Decodes a node encoded by [`Self::snapshot_encode`].
+    pub fn snapshot_decode(
+        r: &mut Reader<'_>,
+        registry: Arc<Registry>,
+        cfg: Arc<SystemConfig>,
+    ) -> Result<Self, Error> {
+        Ok(HyperSubNode {
+            maint: MaintState::decode(r)?,
+            registry,
+            cfg,
+            repos: crate::repo::decode_map(r)?,
+            iids: crate::repo::decode_map(r)?,
+            local_subs: crate::repo::decode_map(r)?,
+            hosted: crate::repo::decode_map(r)?,
+            lb: crate::loadbal::LbState::decode(r)?,
+            maintenance: bool::decode(r)?,
+            dedup: DedupCache::decode(r)?,
+            scratch: crate::delivery::DeliveryScratch::default(),
+            rel: crate::retry::RelState::decode(r)?,
+            replicas: crate::repo::decode_map(r)?,
+            capacity: f64::decode(r)?,
+            next_iid: r.take_u32()?,
+        })
     }
 }
 

@@ -29,6 +29,7 @@ use crate::msg::HyperMsg;
 use crate::node::{DedupCache, HyperSubNode, TOKEN_RETRY_BASE};
 use crate::world::HyperWorld;
 use hypersub_simnet::{Ctx, FxHashMap, ProtoEvent, SimTime};
+use hypersub_snapshot::{Decode, Encode, Error, Reader, Writer};
 
 /// One unacked reliable transmission.
 #[derive(Debug, Clone)]
@@ -212,6 +213,44 @@ impl HyperSubNode {
     fn rel_seen_insert(&mut self, token: u64, from: usize) -> bool {
         // The dedup cache stores (u64, u32) pairs; node indices fit u32.
         self.rel.seen.insert((token, from as u32))
+    }
+}
+
+impl Encode for PendingSend {
+    fn encode(&self, w: &mut Writer) {
+        self.dst.encode(w);
+        self.msg.encode(w);
+        w.put_u32(self.attempts);
+        self.sent_at.encode(w);
+    }
+}
+
+impl Decode for PendingSend {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(PendingSend {
+            dst: usize::decode(r)?,
+            msg: HyperMsg::decode(r)?,
+            attempts: r.take_u32()?,
+            sent_at: SimTime::decode(r)?,
+        })
+    }
+}
+
+impl Encode for RelState {
+    fn encode(&self, w: &mut Writer) {
+        crate::repo::encode_map_sorted(&self.pending, w);
+        self.seen.encode(w);
+        w.put_u64(self.next_token);
+    }
+}
+
+impl Decode for RelState {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(RelState {
+            pending: crate::repo::decode_map(r)?,
+            seen: DedupCache::decode(r)?,
+            next_token: r.take_u64()?,
+        })
     }
 }
 

@@ -14,8 +14,10 @@ use crate::world::HyperWorld;
 use hypersub_chord::builder::{build_ring, RingConfig};
 use hypersub_lph::Point;
 use hypersub_simnet::{
-    FlightRecorder, KingLikeTopology, NetStats, Sim, SimTime, Topology, UniformTopology,
+    FlightRecorder, KingLikeTopology, NetStats, Sim, SimSnapshot, SimTime, Topology,
+    UniformTopology,
 };
+use hypersub_snapshot::{Decode, Encode, Reader, Writer};
 use std::sync::Arc;
 
 /// How to build the latency model.
@@ -40,42 +42,108 @@ impl std::fmt::Debug for TopologyKind {
     }
 }
 
-/// Parameters for the deprecated [`Network::build`]. New code configures
-/// a network through [`Network::builder`] instead.
-#[deprecated(since = "0.2.0", note = "use Network::builder(nodes) instead")]
-#[derive(Debug, Clone)]
-pub struct NetworkParams {
-    /// Number of nodes.
-    pub nodes: usize,
-    /// Scheme definitions.
-    pub registry: Registry,
-    /// System configuration.
-    pub config: SystemConfig,
-    /// Topology model.
-    pub topology: TopologyKind,
-    /// Chord ring construction parameters.
-    pub ring: RingConfig,
-    /// Master seed (node ids, topology, simulator randomness).
-    pub seed: u64,
+/// Opt-in checkpoint/restore support (see `DESIGN.md`,
+/// "Checkpoint/restore"). Off by default: a network built without it
+/// refuses [`Network::snapshot`], and nothing about the run changes
+/// either way — enabling snapshots only stashes the topology descriptor
+/// needed to rebuild the latency model at restore time.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotConfig {
+    /// Master switch.
+    pub enabled: bool,
 }
 
-#[allow(deprecated)]
-impl Default for NetworkParams {
-    fn default() -> Self {
-        Self {
-            nodes: 16,
-            registry: Registry::new(Vec::new()),
-            config: SystemConfig::default(),
-            topology: TopologyKind::Uniform(SimTime::from_millis(10)),
-            ring: RingConfig::default(),
-            seed: 0,
+impl SnapshotConfig {
+    /// Snapshots on.
+    pub fn enabled() -> Self {
+        Self { enabled: true }
+    }
+}
+
+/// How to regenerate the topology at restore time. Uniform and King-like
+/// topologies are pure functions of their parameters, so the snapshot
+/// records the recipe instead of the full latency matrix; custom
+/// topologies have no recipe and are rejected at build time when
+/// snapshots are enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TopoDescriptor {
+    /// `UniformTopology::new(nodes, latency)`.
+    Uniform { nodes: usize, latency: SimTime },
+    /// `KingLikeTopology::generate(nodes, mean_rtt, seed)`.
+    KingLike {
+        nodes: usize,
+        mean_rtt: SimTime,
+        seed: u64,
+    },
+}
+
+impl TopoDescriptor {
+    fn nodes(&self) -> usize {
+        match self {
+            TopoDescriptor::Uniform { nodes, .. } => *nodes,
+            TopoDescriptor::KingLike { nodes, .. } => *nodes,
+        }
+    }
+
+    fn build(&self) -> Arc<dyn Topology> {
+        match self {
+            TopoDescriptor::Uniform { nodes, latency } => {
+                Arc::new(UniformTopology::new(*nodes, *latency))
+            }
+            TopoDescriptor::KingLike {
+                nodes,
+                mean_rtt,
+                seed,
+            } => Arc::new(KingLikeTopology::generate(*nodes, *mean_rtt, *seed)),
         }
     }
 }
 
+impl Encode for TopoDescriptor {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            TopoDescriptor::Uniform { nodes, latency } => {
+                w.put_u8(0);
+                nodes.encode(w);
+                latency.encode(w);
+            }
+            TopoDescriptor::KingLike {
+                nodes,
+                mean_rtt,
+                seed,
+            } => {
+                w.put_u8(1);
+                nodes.encode(w);
+                mean_rtt.encode(w);
+                w.put_u64(*seed);
+            }
+        }
+    }
+}
+
+impl Decode for TopoDescriptor {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, hypersub_snapshot::Error> {
+        Ok(match r.take_u8()? {
+            0 => TopoDescriptor::Uniform {
+                nodes: usize::decode(r)?,
+                latency: SimTime::decode(r)?,
+            },
+            1 => TopoDescriptor::KingLike {
+                nodes: usize::decode(r)?,
+                mean_rtt: SimTime::decode(r)?,
+                seed: r.take_u64()?,
+            },
+            _ => {
+                return Err(hypersub_snapshot::Error::InvalidValue(
+                    "topology descriptor tag",
+                ))
+            }
+        })
+    }
+}
+
 /// Fluent constructor for [`Network`], obtained from
-/// [`Network::builder`]. Every knob has the same default the old
-/// `NetworkParams::default()` had, so
+/// [`Network::builder`], so
 /// `Network::builder(n).build()?` is the minimal happy path:
 ///
 /// ```
@@ -98,6 +166,7 @@ pub struct NetworkBuilder {
     ring: RingConfig,
     seed: u64,
     recorder_capacity: Option<usize>,
+    snapshot: SnapshotConfig,
 }
 
 impl NetworkBuilder {
@@ -151,6 +220,13 @@ impl NetworkBuilder {
         self
     }
 
+    /// Checkpoint/restore support (see [`SnapshotConfig`]). Off by
+    /// default; enabling it never changes run behavior or digests.
+    pub fn snapshots(mut self, snapshot: SnapshotConfig) -> Self {
+        self.snapshot = snapshot;
+        self
+    }
+
     /// Builds the stabilized network: topology, Chord ring (with PNS
     /// fingers), one HyperSub node per slot. Load-balancing timers are
     /// armed (staggered) when the config enables LB.
@@ -187,6 +263,28 @@ impl NetworkBuilder {
                 "self-healing requires a nonzero lease period",
             ));
         }
+        let topo_desc = if self.snapshot.enabled {
+            Some(match &self.topology {
+                TopologyKind::Uniform(t) => TopoDescriptor::Uniform {
+                    nodes: self.nodes,
+                    latency: *t,
+                },
+                TopologyKind::KingLike(rtt) => TopoDescriptor::KingLike {
+                    nodes: self.nodes,
+                    mean_rtt: *rtt,
+                    seed: self.seed ^ 0x7090,
+                },
+                TopologyKind::Custom(_) => {
+                    return Err(HyperSubError::Snapshot(
+                        hypersub_snapshot::Error::Unsupported(
+                            "snapshots cannot capture a custom topology",
+                        ),
+                    ))
+                }
+            })
+        } else {
+            None
+        };
         let topo: Arc<dyn Topology> = match &self.topology {
             TopologyKind::Uniform(t) => Arc::new(UniformTopology::new(self.nodes, *t)),
             TopologyKind::KingLike(rtt) => Arc::new(KingLikeTopology::generate(
@@ -229,6 +327,7 @@ impl NetworkBuilder {
             sim,
             next_event_id: 1,
             scheduled_events: 0,
+            topo_desc,
         })
     }
 }
@@ -238,6 +337,9 @@ pub struct Network {
     pub(crate) sim: Sim<HyperSubNode, HyperMsg, HyperWorld>,
     next_event_id: u64,
     scheduled_events: u64,
+    /// Recipe for regenerating the topology at restore time; `Some` iff
+    /// the network was built with [`SnapshotConfig`] enabled.
+    topo_desc: Option<TopoDescriptor>,
 }
 
 impl Network {
@@ -254,25 +356,8 @@ impl Network {
             ring: RingConfig::default(),
             seed: 0,
             recorder_capacity: None,
+            snapshot: SnapshotConfig::default(),
         }
-    }
-
-    /// Builds a network from the legacy parameter struct.
-    ///
-    /// # Panics
-    /// Panics on configurations [`NetworkBuilder::build`] rejects (the
-    /// historical behavior of this entry point).
-    #[deprecated(since = "0.2.0", note = "use Network::builder(nodes) instead")]
-    #[allow(deprecated)]
-    pub fn build(params: NetworkParams) -> Self {
-        Network::builder(params.nodes)
-            .registry(params.registry)
-            .config(params.config)
-            .topology(params.topology)
-            .ring(params.ring)
-            .seed(params.seed)
-            .build()
-            .expect("invalid NetworkParams")
     }
 
     /// Installs a subscription from `node` (Algorithm 2 starts here).
@@ -489,32 +574,82 @@ impl Network {
         self.sim.fault_plane_mut()
     }
 
-    /// Soft-state refresh on every live node: re-registers all local
-    /// subscriptions and re-pushes summary-filter chains, so state lost
-    /// with failed surrogate nodes is rebuilt on the healed ring.
+    /// Serializes the complete network state — every node's protocol
+    /// state, the world (metrics, oracle, script), and the engine
+    /// (event queue, per-node liveness, RNG streams, fault plane, flight
+    /// recorder) — into a self-checking versioned byte envelope.
     ///
-    /// Deprecated: this is an omniscient crutch no real node could invoke
-    /// (it iterates the whole network from outside the protocol). Enable
-    /// [`SystemConfig::with_self_healing`] instead — per-subscriber leases
-    /// plus successor replication repair the same state decentralized,
-    /// without a global view (see `heal.rs`).
-    #[deprecated(
-        since = "0.2.0",
-        note = "enable SystemConfig::with_self_healing(): leases + successor \
-                replication repair state without a global view"
-    )]
-    pub fn refresh_all_subscriptions(&mut self) {
-        for i in 0..self.sim.len() {
-            if self.sim.is_alive(i) {
-                self.sim
-                    .with_node_ctx(i, |n, ctx| n.refresh_subscriptions(ctx));
-            }
+    /// The snapshot is taken at a *quiesce point*: call it between
+    /// [`Network::run_until`] / [`Network::run_to_quiescence`] calls, not
+    /// from inside a node callback. Restoring with [`Network::restore`]
+    /// in a fresh process and running to the same end time produces
+    /// bit-identical deliveries, network counters, digests and reports.
+    ///
+    /// # Errors
+    /// [`HyperSubError::SnapshotsDisabled`] when the network was built
+    /// without [`SnapshotConfig`] enabled.
+    pub fn snapshot(&self) -> Result<Vec<u8>> {
+        let desc = self.topo_desc.ok_or(HyperSubError::SnapshotsDisabled)?;
+        let mut w = Writer::new();
+        desc.encode(&mut w);
+        // The registry and config are shared by every node: encode them
+        // once and re-share the `Arc`s on restore.
+        self.sim.node(0).registry.encode(&mut w);
+        self.sim.node(0).cfg.encode(&mut w);
+        w.put_u64(self.sim.len() as u64);
+        for node in self.sim.nodes() {
+            node.snapshot_encode(&mut w);
         }
-        for i in 0..self.sim.len() {
-            if self.sim.is_alive(i) {
-                self.sim.with_node_ctx(i, |n, ctx| n.rebuild_chains(ctx));
-            }
+        self.sim.world().encode(&mut w);
+        self.sim.export_state().encode(&mut w);
+        w.put_u64(self.next_event_id);
+        w.put_u64(self.scheduled_events);
+        Ok(hypersub_snapshot::seal(w.into_vec()))
+    }
+
+    /// Reconstructs a network from bytes produced by
+    /// [`Network::snapshot`], with snapshots still enabled on the result.
+    ///
+    /// # Errors
+    /// [`HyperSubError::Snapshot`] when the bytes are corrupt, truncated,
+    /// from a different format version, or internally inconsistent.
+    pub fn restore(bytes: &[u8]) -> Result<Network> {
+        let payload = hypersub_snapshot::unseal(bytes)?;
+        let mut r = Reader::new(payload);
+        let desc = TopoDescriptor::decode(&mut r)?;
+        let registry = Arc::new(Registry::decode(&mut r)?);
+        let cfg = Arc::new(SystemConfig::decode(&mut r)?);
+        let n = r.take_u64()? as usize;
+        if n != desc.nodes() || n == 0 {
+            return Err(HyperSubError::Snapshot(
+                hypersub_snapshot::Error::InvalidValue("snapshot node count"),
+            ));
         }
+        let mut nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            nodes.push(HyperSubNode::snapshot_decode(
+                &mut r,
+                Arc::clone(&registry),
+                Arc::clone(&cfg),
+            )?);
+        }
+        let world = HyperWorld::decode(&mut r)?;
+        let snap = SimSnapshot::<HyperMsg>::decode(&mut r)?;
+        if snap.alive.len() != n {
+            return Err(HyperSubError::Snapshot(
+                hypersub_snapshot::Error::InvalidValue("snapshot liveness length"),
+            ));
+        }
+        let next_event_id = r.take_u64()?;
+        let scheduled_events = r.take_u64()?;
+        r.finish().map_err(HyperSubError::Snapshot)?;
+        let sim = Sim::from_snapshot(desc.build(), nodes, world, snap);
+        Ok(Network {
+            sim,
+            next_event_id,
+            scheduled_events,
+            topo_desc: Some(desc),
+        })
     }
 
     /// Runs until the event queue drains (messages and scripted timers
@@ -937,27 +1072,104 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_params_shim_still_builds_identically() {
-        let via_params = Network::build(NetworkParams {
-            nodes: 8,
-            registry: registry(),
-            seed: 77,
-            ..NetworkParams::default()
-        });
-        let via_builder = Network::builder(8)
+    fn snapshot_requires_opt_in() {
+        let net = small_net(4, 15);
+        assert_eq!(net.snapshot().err(), Some(HyperSubError::SnapshotsDisabled));
+        let net = Network::builder(4)
             .registry(registry())
-            .seed(77)
+            .snapshots(SnapshotConfig::enabled())
             .build()
             .unwrap();
-        assert_eq!(via_params.len(), via_builder.len());
-        for i in 0..8 {
-            assert_eq!(
-                via_params.node(i).unwrap().chord().id,
-                via_builder.node(i).unwrap().chord().id,
-                "shim and builder must derive the same ring"
+        assert!(net.snapshot().is_ok());
+    }
+
+    #[test]
+    fn snapshot_rejects_custom_topology() {
+        let topo: Arc<dyn Topology> = Arc::new(UniformTopology::new(4, SimTime::from_millis(1)));
+        assert_eq!(
+            Network::builder(4)
+                .topology(TopologyKind::Custom(topo))
+                .snapshots(SnapshotConfig::enabled())
+                .build()
+                .err(),
+            Some(HyperSubError::Snapshot(
+                hypersub_snapshot::Error::Unsupported("snapshots cannot capture a custom topology")
+            ))
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_mid_run() {
+        let build = || {
+            Network::builder(12)
+                .registry(registry())
+                .seed(31)
+                .snapshots(SnapshotConfig::enabled())
+                .build()
+                .unwrap()
+        };
+        let drive = |net: &mut Network, from: usize| {
+            for i in from..6 {
+                net.schedule_publish(
+                    SimTime::from_secs(20 + i as u64),
+                    i * 2,
+                    0,
+                    Point(vec![(i as f64 * 19.0) % 100.0, 50.0]),
+                )
+                .unwrap();
+            }
+        };
+        // Straight-through reference run.
+        let mut reference = build();
+        for i in 0..12 {
+            let lo = i as f64 * 7.0 % 90.0;
+            reference.subscribe(
+                i,
+                0,
+                Subscription::new(Rect::new(vec![lo, 0.0], vec![lo + 10.0, 100.0])),
             );
         }
+        drive(&mut reference, 0);
+        reference.run_to_quiescence();
+        // Split run: identical setup, snapshot mid-way, restore, finish.
+        let mut first = build();
+        for i in 0..12 {
+            let lo = i as f64 * 7.0 % 90.0;
+            first.subscribe(
+                i,
+                0,
+                Subscription::new(Rect::new(vec![lo, 0.0], vec![lo + 10.0, 100.0])),
+            );
+        }
+        drive(&mut first, 0);
+        first.run_until(SimTime::from_secs(22));
+        let bytes = first.snapshot().unwrap();
+        drop(first);
+        let mut resumed = Network::restore(&bytes).unwrap();
+        assert_eq!(resumed.time(), SimTime::from_secs(22));
+        resumed.run_to_quiescence();
+        assert_eq!(resumed.run_digest(), reference.run_digest());
+        assert_eq!(resumed.deliveries(), reference.deliveries());
+        assert_eq!(resumed.net(), reference.net());
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_bytes() {
+        let net = Network::builder(4)
+            .registry(registry())
+            .snapshots(SnapshotConfig::enabled())
+            .build()
+            .unwrap();
+        let mut bytes = net.snapshot().unwrap();
+        let last = bytes.len() - 9; // flip a payload bit, not the checksum
+        bytes[last] ^= 0x40;
+        assert!(matches!(
+            Network::restore(&bytes),
+            Err(HyperSubError::Snapshot(
+                hypersub_snapshot::Error::ChecksumMismatch { .. }
+            ))
+        ));
+        assert!(Network::restore(&[]).is_err());
     }
 
     #[test]

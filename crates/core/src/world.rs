@@ -4,6 +4,7 @@
 use crate::metrics::Metrics;
 use crate::model::{Event, SchemeId, SubId, Subscription};
 use hypersub_lph::Point;
+use hypersub_snapshot::{Decode, Encode, Error, Reader, Writer};
 
 /// Ground truth: every subscription in the system, for computing expected
 /// match sets (tests) and the matched-percentage metric (Figure 2a/5a).
@@ -205,6 +206,72 @@ impl HyperWorld {
         self.script[idx]
             .take()
             .expect("scripted event fired twice or never scheduled")
+    }
+}
+
+impl Encode for Oracle {
+    fn encode(&self, w: &mut Writer) {
+        // Registration order matters (`expected_count` indexes into it);
+        // the lazy grid is a derived cache and rebuilds on demand.
+        w.put_u64(self.subs.len() as u64);
+        for (scheme, subid, sub) in &self.subs {
+            w.put_u32(*scheme);
+            subid.encode(w);
+            sub.encode(w);
+        }
+    }
+}
+
+impl Decode for Oracle {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let n = r.take_u64()? as usize;
+        let mut subs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let scheme = r.take_u32()?;
+            let subid = SubId::decode(r)?;
+            let sub = Subscription::decode(r)?;
+            subs.push((scheme, subid, sub));
+        }
+        Ok(Oracle { subs, grid: None })
+    }
+}
+
+impl Encode for HyperWorld {
+    fn encode(&self, w: &mut Writer) {
+        self.metrics.encode(w);
+        self.oracle.encode(w);
+        w.put_u64(self.script.len() as u64);
+        for slot in &self.script {
+            match slot {
+                Some((scheme, event)) => {
+                    w.put_u8(1);
+                    w.put_u32(*scheme);
+                    event.encode(w);
+                }
+                None => w.put_u8(0),
+            }
+        }
+    }
+}
+
+impl Decode for HyperWorld {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let metrics = Metrics::decode(r)?;
+        let oracle = Oracle::decode(r)?;
+        let n = r.take_u64()? as usize;
+        let mut script = Vec::with_capacity(n);
+        for _ in 0..n {
+            script.push(match r.take_u8()? {
+                0 => None,
+                1 => Some((r.take_u32()?, Event::decode(r)?)),
+                _ => return Err(Error::InvalidValue("script slot tag")),
+            });
+        }
+        Ok(HyperWorld {
+            metrics,
+            oracle,
+            script,
+        })
     }
 }
 

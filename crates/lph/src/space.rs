@@ -11,6 +11,7 @@
 //! predicates, which the paper converts to numeric ranges, produce exactly
 //! such closed ranges).
 
+use hypersub_snapshot::{Decode, Encode, Error, Reader, Writer};
 use serde::{Deserialize, Serialize};
 
 /// The domain of one attribute: the closed interval `[lo, hi]`.
@@ -194,6 +195,72 @@ impl Rect {
             .zip(&self.hi)
             .map(|(&lo, &hi)| hi - lo)
             .product()
+    }
+}
+
+// Geometry codecs round-trip raw IEEE-754 bits (see the snapshot crate's
+// f64 rule), so decoded values are bit-identical and re-validation of the
+// constructor invariants is unnecessary for data we wrote ourselves; the
+// envelope checksum covers corruption.
+impl Encode for Domain {
+    fn encode(&self, w: &mut Writer) {
+        self.lo.encode(w);
+        self.hi.encode(w);
+    }
+}
+
+impl Decode for Domain {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(Domain {
+            lo: f64::decode(r)?,
+            hi: f64::decode(r)?,
+        })
+    }
+}
+
+impl Encode for ContentSpace {
+    fn encode(&self, w: &mut Writer) {
+        self.dims.encode(w);
+    }
+}
+
+impl Decode for ContentSpace {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let dims = Vec::<Domain>::decode(r)?;
+        if dims.is_empty() {
+            return Err(Error::InvalidValue("empty content space"));
+        }
+        Ok(ContentSpace { dims })
+    }
+}
+
+impl Encode for Point {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+    }
+}
+
+impl Decode for Point {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(Point(Vec::<f64>::decode(r)?))
+    }
+}
+
+impl Encode for Rect {
+    fn encode(&self, w: &mut Writer) {
+        self.lo.encode(w);
+        self.hi.encode(w);
+    }
+}
+
+impl Decode for Rect {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let lo = Vec::<f64>::decode(r)?;
+        let hi = Vec::<f64>::decode(r)?;
+        if lo.len() != hi.len() {
+            return Err(Error::InvalidValue("rect bound arity"));
+        }
+        Ok(Rect { lo, hi })
     }
 }
 

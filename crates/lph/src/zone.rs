@@ -6,6 +6,7 @@
 //! subrange picked on the splitting dimension `i mod d`.
 
 use crate::space::{ContentSpace, Rect};
+use hypersub_snapshot::{Decode, Encode, Error, Reader, Writer};
 use serde::{Deserialize, Serialize};
 
 /// Identifier-space geometry: digit base and how much of the 64-bit key is
@@ -146,6 +147,47 @@ impl ZoneCode {
     /// The splitting dimension used to go from this zone to its children.
     pub fn split_dim(&self, space: &ContentSpace) -> usize {
         self.level as usize % space.dims()
+    }
+}
+
+impl Encode for ZoneParams {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.base_bits);
+        w.put_u8(self.zone_bits);
+    }
+}
+
+impl Decode for ZoneParams {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let base_bits = r.take_u8()?;
+        let zone_bits = r.take_u8()?;
+        if !(1..=16).contains(&base_bits)
+            || zone_bits < base_bits
+            || zone_bits > 63
+            || zone_bits % base_bits != 0
+        {
+            return Err(Error::InvalidValue("zone params"));
+        }
+        Ok(ZoneParams {
+            base_bits,
+            zone_bits,
+        })
+    }
+}
+
+impl Encode for ZoneCode {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.code);
+        w.put_u8(self.level);
+    }
+}
+
+impl Decode for ZoneCode {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(ZoneCode {
+            code: r.take_u64()?,
+            level: r.take_u8()?,
+        })
     }
 }
 

@@ -17,6 +17,7 @@ use crate::stats::NetStats;
 use crate::time::SimTime;
 use crate::topology::Topology;
 use crate::trace::{FlightRecorder, ProtoEvent, TraceEvent};
+use hypersub_snapshot::{Decode, Encode, Error, Reader, Writer};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -100,6 +101,62 @@ impl<M, W> Ctx<'_, M, W> {
         if let Some(r) = self.recorder.as_deref_mut() {
             r.record(self.now, self.me, TraceEvent::Proto(f()));
         }
+    }
+}
+
+/// Complete engine state at a quiesce point, as captured by
+/// [`Sim::export_state`]. Node states, the world, and the topology are
+/// *not* included — they live above the engine and are captured (or
+/// regenerated) by the layer that owns them.
+#[derive(Debug, Clone)]
+pub struct SimSnapshot<M> {
+    /// Current simulation time.
+    pub time: SimTime,
+    /// Events processed so far.
+    pub steps: u64,
+    /// Liveness flags, one per node.
+    pub alive: Vec<bool>,
+    /// Raw state of the engine's xoshiro256++ stream.
+    pub rng_state: [u64; 4],
+    /// Network counters.
+    pub net: NetStats,
+    /// The fault plane, if one is installed.
+    pub fault: Option<FaultPlane>,
+    /// The flight recorder, if one is installed.
+    pub recorder: Option<FlightRecorder>,
+    /// Pending events as `(at, seq, event)`, sorted by pop order.
+    pub queue_entries: Vec<(SimTime, u64, SimEvent<M>)>,
+    /// The queue's next sequence number.
+    pub queue_next_seq: u64,
+}
+
+impl<M: Encode> Encode for SimSnapshot<M> {
+    fn encode(&self, w: &mut Writer) {
+        self.time.encode(w);
+        w.put_u64(self.steps);
+        self.alive.encode(w);
+        self.rng_state.encode(w);
+        self.net.encode(w);
+        self.fault.encode(w);
+        self.recorder.encode(w);
+        self.queue_entries.encode(w);
+        w.put_u64(self.queue_next_seq);
+    }
+}
+
+impl<M: Decode> Decode for SimSnapshot<M> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(SimSnapshot {
+            time: SimTime::decode(r)?,
+            steps: r.take_u64()?,
+            alive: Vec::<bool>::decode(r)?,
+            rng_state: <[u64; 4]>::decode(r)?,
+            net: NetStats::decode(r)?,
+            fault: Option::<FaultPlane>::decode(r)?,
+            recorder: Option::<FlightRecorder>::decode(r)?,
+            queue_entries: Vec::<(SimTime, u64, SimEvent<M>)>::decode(r)?,
+            queue_next_seq: r.take_u64()?,
+        })
     }
 }
 
@@ -551,6 +608,70 @@ impl<N, M: Payload, W> Sim<N, M, W> {
     pub fn into_parts(self) -> (Vec<N>, W, NetStats) {
         (self.nodes, self.world, self.net)
     }
+
+    /// Captures the engine's complete state at the current quiesce point.
+    ///
+    /// Callable only *between* events: the outbox and timer scratch
+    /// buffers are drained by `flush` before `step`/`with_node_ctx`
+    /// return, so any external call site is a valid quiesce point (the
+    /// assertion documents — rather than guards — this invariant).
+    pub fn export_state(&self) -> SimSnapshot<M> {
+        assert!(
+            self.outbox.is_empty() && self.timers.is_empty(),
+            "snapshot requires a quiesce point (no in-flight outbox/timers)"
+        );
+        let (queue_entries, queue_next_seq) = self.queue.export_entries();
+        SimSnapshot {
+            time: self.time,
+            steps: self.steps,
+            alive: self.alive.clone(),
+            rng_state: self.rng.state(),
+            net: self.net.clone(),
+            fault: self.fault.clone(),
+            recorder: self.recorder.clone(),
+            queue_entries,
+            queue_next_seq,
+        }
+    }
+
+    /// Rebuilds a simulator from a captured snapshot plus the state the
+    /// engine does not own: the topology (regenerated deterministically
+    /// by the caller), restored node states, and the restored world.
+    ///
+    /// # Panics
+    /// Panics if `nodes`, `snap.alive` and `topo` disagree on size.
+    pub fn from_snapshot(
+        topo: Arc<dyn Topology>,
+        nodes: Vec<N>,
+        world: W,
+        snap: SimSnapshot<M>,
+    ) -> Self {
+        assert_eq!(
+            nodes.len(),
+            topo.len(),
+            "node count must match topology size"
+        );
+        assert_eq!(
+            nodes.len(),
+            snap.alive.len(),
+            "alive flags must match node count"
+        );
+        Self {
+            nodes,
+            alive: snap.alive,
+            world,
+            topo,
+            queue: EventQueue::from_entries(snap.queue_entries, snap.queue_next_seq),
+            time: snap.time,
+            net: snap.net,
+            rng: SmallRng::from_state(snap.rng_state),
+            fault: snap.fault,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+            steps: snap.steps,
+            recorder: snap.recorder,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -570,6 +691,18 @@ mod tests {
         }
         fn flow(&self) -> Option<u64> {
             Some(1)
+        }
+    }
+
+    impl Encode for Hop {
+        fn encode(&self, w: &mut Writer) {
+            w.put_u32(self.ttl);
+        }
+    }
+
+    impl Decode for Hop {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+            Ok(Hop { ttl: r.take_u32()? })
         }
     }
 
@@ -836,6 +969,56 @@ mod tests {
             assert!(!ctx.tracing());
             ctx.trace(|| unreachable!("trace closure ran with recording off"));
         });
+    }
+
+    #[test]
+    fn split_run_resumes_bit_identically() {
+        use crate::fault::{FaultPlane, LinkPolicy};
+        let seed_run = || {
+            let mut sim = ring();
+            let mut fp = FaultPlane::new(42);
+            fp.set_global_policy(LinkPolicy {
+                drop_prob: 0.2,
+                dup_prob: 0.2,
+                extra_delay: SimTime::from_millis(1),
+                jitter: SimTime::from_millis(4),
+            });
+            sim.install_fault_plane(fp);
+            sim.enable_recording(64);
+            sim.schedule_timer(SimTime::ZERO, 0, 30);
+            sim.schedule_timer(SimTime::from_millis(3), 2, 30);
+            sim
+        };
+
+        // Straight-through reference.
+        let mut full = seed_run();
+        full.run(10_000);
+        let (_, w_full, net_full) = full.into_parts();
+
+        // Split run: halfway, export, serialize, drop, restore, finish.
+        let mut first = seed_run();
+        first.run(40);
+        let world_mid = std::mem::take(first.world_mut());
+        let snap = first.export_state();
+        let topo = Arc::clone(first.topology());
+        let bytes = hypersub_snapshot::to_sealed_bytes(&snap);
+        drop(first);
+        drop(snap);
+
+        let snap2: SimSnapshot<Hop> = hypersub_snapshot::from_sealed_bytes(&bytes).unwrap();
+        let mut resumed = Sim::from_snapshot(
+            topo,
+            vec![RingNode, RingNode, RingNode, RingNode],
+            world_mid,
+            snap2,
+        );
+        resumed.run(10_000);
+        let rec = resumed.recorder().unwrap().kind_counts();
+        let (_, w_resumed, net_resumed) = resumed.into_parts();
+
+        assert_eq!(w_full.delivered, w_resumed.delivered);
+        assert_eq!(net_full, net_resumed);
+        assert!(!rec.is_empty());
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! byte-identical to a run without one.
 
 use crate::time::SimTime;
+use hypersub_snapshot::{Decode, Encode, Error, Reader, Writer};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
@@ -219,6 +220,76 @@ impl FaultPlane {
     }
 }
 
+impl Encode for LinkPolicy {
+    fn encode(&self, w: &mut Writer) {
+        self.drop_prob.encode(w);
+        self.dup_prob.encode(w);
+        self.extra_delay.encode(w);
+        self.jitter.encode(w);
+    }
+}
+
+impl Decode for LinkPolicy {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(LinkPolicy {
+            drop_prob: f64::decode(r)?,
+            dup_prob: f64::decode(r)?,
+            extra_delay: SimTime::decode(r)?,
+            jitter: SimTime::decode(r)?,
+        })
+    }
+}
+
+impl Encode for Partition {
+    fn encode(&self, w: &mut Writer) {
+        // HashSet iteration order is process-random: sort for stable bytes.
+        let mut side: Vec<usize> = self.side_a.iter().copied().collect();
+        side.sort_unstable();
+        side.encode(w);
+        self.from.encode(w);
+        self.until.encode(w);
+    }
+}
+
+impl Decode for Partition {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(Partition {
+            side_a: Vec::<usize>::decode(r)?.into_iter().collect(),
+            from: SimTime::decode(r)?,
+            until: SimTime::decode(r)?,
+        })
+    }
+}
+
+// The partition *list* keeps its original order (`is_partitioned` uses
+// `any`, so order only changes short-circuiting, but byte stability
+// wants the insertion order preserved verbatim). The link map is sorted
+// by key for the same stable-bytes reason as every other hash map.
+impl Encode for FaultPlane {
+    fn encode(&self, w: &mut Writer) {
+        self.rng.state().encode(w);
+        self.global.encode(w);
+        let mut links: Vec<((usize, usize), LinkPolicy)> =
+            self.links.iter().map(|(&k, &v)| (k, v)).collect();
+        links.sort_unstable_by_key(|&(k, _)| k);
+        links.encode(w);
+        self.partitions.encode(w);
+    }
+}
+
+impl Decode for FaultPlane {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(FaultPlane {
+            rng: SmallRng::from_state(<[u64; 4]>::decode(r)?),
+            global: LinkPolicy::decode(r)?,
+            links: Vec::<((usize, usize), LinkPolicy)>::decode(r)?
+                .into_iter()
+                .collect(),
+            partitions: Vec::<Partition>::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +397,33 @@ mod tests {
         assert_eq!(fp.judge(0, 2, mid), Verdict::DropPartition);
         // After: healed.
         assert!(!fp.is_partitioned(0, 2, SimTime::from_millis(200)));
+    }
+
+    #[test]
+    fn snapshot_resumes_fault_schedule_mid_stream() {
+        let mut fp = FaultPlane::new(77);
+        fp.set_global_policy(LinkPolicy {
+            drop_prob: 0.3,
+            dup_prob: 0.2,
+            extra_delay: SimTime::from_millis(1),
+            jitter: SimTime::from_millis(3),
+        });
+        fp.set_link_policy(1, 2, LinkPolicy::IDEAL);
+        fp.add_partition([0, 1], SimTime::from_millis(5), SimTime::from_millis(9));
+        for i in 0..100 {
+            fp.judge(i % 8, (i + 1) % 8, T0);
+        }
+        let mut w = Writer::new();
+        fp.encode(&mut w);
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        let mut back = FaultPlane::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        let tail: Vec<Verdict> = (0..200).map(|i| fp.judge(i % 8, (i + 3) % 8, T0)).collect();
+        let tail2: Vec<Verdict> = (0..200)
+            .map(|i| back.judge(i % 8, (i + 3) % 8, T0))
+            .collect();
+        assert_eq!(tail, tail2);
     }
 
     #[test]

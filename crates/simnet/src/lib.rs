@@ -28,9 +28,10 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 
-pub use engine::{Ctx, Node, Payload, Sim};
+pub use engine::{Ctx, Node, Payload, Sim, SimSnapshot};
 pub use fault::{FaultPlane, LinkPolicy, Verdict};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use queue::SimEvent;
 pub use stats::NetStats;
 pub use time::SimTime;
 pub use topology::{KingLikeTopology, MatrixTopology, Topology, UniformTopology};

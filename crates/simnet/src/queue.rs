@@ -13,6 +13,7 @@
 //! and its LIFO free list — cannot affect determinism.
 
 use crate::time::SimTime;
+use hypersub_snapshot::{Decode, Encode, Error, Reader, Writer};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -45,6 +46,52 @@ pub enum SimEvent<M> {
         /// The undeliverable message.
         msg: M,
     },
+}
+
+impl<M: Encode> Encode for SimEvent<M> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            SimEvent::Deliver { src, dst, msg } => {
+                w.put_u8(0);
+                src.encode(w);
+                dst.encode(w);
+                msg.encode(w);
+            }
+            SimEvent::Timer { node, token } => {
+                w.put_u8(1);
+                node.encode(w);
+                w.put_u64(*token);
+            }
+            SimEvent::SendFailed { origin, dst, msg } => {
+                w.put_u8(2);
+                origin.encode(w);
+                dst.encode(w);
+                msg.encode(w);
+            }
+        }
+    }
+}
+
+impl<M: Decode> Decode for SimEvent<M> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(match r.take_u8()? {
+            0 => SimEvent::Deliver {
+                src: usize::decode(r)?,
+                dst: usize::decode(r)?,
+                msg: M::decode(r)?,
+            },
+            1 => SimEvent::Timer {
+                node: usize::decode(r)?,
+                token: r.take_u64()?,
+            },
+            2 => SimEvent::SendFailed {
+                origin: usize::decode(r)?,
+                dst: usize::decode(r)?,
+                msg: M::decode(r)?,
+            },
+            _ => return Err(Error::InvalidValue("sim event tag")),
+        })
+    }
 }
 
 /// A heap handle: ordering key plus the slab slot holding the event body.
@@ -132,6 +179,50 @@ impl<M> EventQueue<M> {
         self.heap.peek().map(|s| s.at)
     }
 
+    /// All pending events as `(at, seq, event)` triples sorted by pop
+    /// order, plus the next sequence number — everything a checkpoint
+    /// needs to rebuild an equivalent queue. The slab layout and free
+    /// list are deliberately not part of the snapshot: pop order is a
+    /// pure function of `(at, seq)`.
+    pub fn export_entries(&self) -> (Vec<(SimTime, u64, SimEvent<M>)>, u64)
+    where
+        M: Clone,
+    {
+        let mut out: Vec<(SimTime, u64, SimEvent<M>)> = self
+            .heap
+            .iter()
+            .map(|s| {
+                let ev = self.slab[s.slot as usize]
+                    .clone()
+                    .expect("scheduled slot holds an event");
+                (s.at, s.seq, ev)
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
+        (out, self.seq)
+    }
+
+    /// Rebuilds a queue from [`export_entries`] output, preserving the
+    /// original sequence numbers (and therefore same-instant tie-breaks)
+    /// exactly.
+    ///
+    /// [`export_entries`]: EventQueue::export_entries
+    pub fn from_entries(entries: Vec<(SimTime, u64, SimEvent<M>)>, next_seq: u64) -> Self {
+        let mut q = EventQueue {
+            heap: BinaryHeap::with_capacity(entries.len()),
+            slab: Vec::with_capacity(entries.len()),
+            free: Vec::new(),
+            seq: next_seq,
+        };
+        for (at, seq, ev) in entries {
+            assert!(seq < next_seq, "entry seq must precede next_seq");
+            let slot = u32::try_from(q.slab.len()).expect("event slab exceeds u32 slots");
+            q.slab.push(Some(ev));
+            q.heap.push(Scheduled { at, seq, slot });
+        }
+        q
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -180,6 +271,31 @@ mod tests {
             })
             .collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn export_restore_preserves_pop_order_and_ties() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), timer(0, 3));
+        q.schedule(SimTime::from_micros(10), timer(0, 1));
+        q.schedule(SimTime::from_micros(10), timer(0, 2)); // same-instant tie
+        q.pop(); // free a slab slot so restore sees a non-trivial layout
+        q.schedule(SimTime::from_micros(10), timer(0, 9));
+
+        let (entries, next_seq) = q.export_entries();
+        let mut restored = EventQueue::from_entries(entries, next_seq);
+        let drain = |q: &mut EventQueue<()>| {
+            std::iter::from_fn(|| q.pop())
+                .map(|(at, ev)| match ev {
+                    SimEvent::Timer { token, .. } => (at, token),
+                    _ => unreachable!(),
+                })
+                .collect::<Vec<_>>()
+        };
+        // New events scheduled after restore continue the seq stream.
+        q.schedule(SimTime::from_micros(10), timer(0, 42));
+        restored.schedule(SimTime::from_micros(10), timer(0, 42));
+        assert_eq!(drain(&mut q), drain(&mut restored));
     }
 
     #[test]

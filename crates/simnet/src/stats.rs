@@ -7,6 +7,7 @@
 //! (the HyperSub layer tags every delivery message with its event id).
 
 use crate::fxhash::FxHashMap;
+use hypersub_snapshot::{Decode, Encode, Error, Reader, Writer};
 
 /// Per-node traffic counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -157,9 +158,100 @@ impl NetStats {
     }
 }
 
+impl Encode for NodeTraffic {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.bytes_in);
+        w.put_u64(self.bytes_out);
+        w.put_u64(self.msgs_in);
+        w.put_u64(self.msgs_out);
+    }
+}
+
+impl Decode for NodeTraffic {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(NodeTraffic {
+            bytes_in: r.take_u64()?,
+            bytes_out: r.take_u64()?,
+            msgs_in: r.take_u64()?,
+            msgs_out: r.take_u64()?,
+        })
+    }
+}
+
+impl Encode for FlowTraffic {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.bytes);
+        w.put_u64(self.msgs);
+    }
+}
+
+impl Decode for FlowTraffic {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(FlowTraffic {
+            bytes: r.take_u64()?,
+            msgs: r.take_u64()?,
+        })
+    }
+}
+
+// The flow map is encoded in sorted key order: FxHashMap iteration order
+// depends on insertion history, and the golden byte-stability test pins
+// exact snapshot bytes.
+impl Encode for NetStats {
+    fn encode(&self, w: &mut Writer) {
+        self.nodes.encode(w);
+        let mut flows: Vec<(u64, FlowTraffic)> = self.flows.iter().map(|(&k, &v)| (k, v)).collect();
+        flows.sort_unstable_by_key(|&(k, _)| k);
+        flows.encode(w);
+        w.put_u64(self.dropped);
+        w.put_u64(self.fault_dropped);
+        w.put_u64(self.partition_dropped);
+        w.put_u64(self.duplicated);
+        w.put_u64(self.total_msgs);
+        w.put_u64(self.total_bytes);
+    }
+}
+
+impl Decode for NetStats {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let nodes = Vec::<NodeTraffic>::decode(r)?;
+        let flows = Vec::<(u64, FlowTraffic)>::decode(r)?
+            .into_iter()
+            .collect::<FxHashMap<_, _>>();
+        Ok(NetStats {
+            nodes,
+            flows,
+            dropped: r.take_u64()?,
+            fault_dropped: r.take_u64()?,
+            partition_dropped: r.take_u64()?,
+            duplicated: r.take_u64()?,
+            total_msgs: r.take_u64()?,
+            total_bytes: r.take_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_round_trip_is_exact() {
+        let mut s = NetStats::new(3);
+        s.record_out(0, 100, Some(7));
+        s.record_in(1, 100);
+        s.record_out(1, 50, Some(3));
+        s.record_drop();
+        s.record_fault_drop();
+        s.record_duplicate();
+        let mut w = Writer::new();
+        s.encode(&mut w);
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        let back = NetStats::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(s, back);
+    }
 
     #[test]
     fn records_in_out_and_flows() {

@@ -60,6 +60,18 @@ impl SimTime {
     }
 }
 
+impl hypersub_snapshot::Encode for SimTime {
+    fn encode(&self, w: &mut hypersub_snapshot::Writer) {
+        w.put_u64(self.0);
+    }
+}
+
+impl hypersub_snapshot::Decode for SimTime {
+    fn decode(r: &mut hypersub_snapshot::Reader<'_>) -> Result<Self, hypersub_snapshot::Error> {
+        Ok(SimTime(r.take_u64()?))
+    }
+}
+
 impl Add for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimTime) -> SimTime {

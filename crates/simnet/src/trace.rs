@@ -25,7 +25,25 @@
 //! kept so consumers can tell a truncated trace from a complete one.
 
 use crate::time::SimTime;
+use hypersub_snapshot::{Decode, Encode, Error, Reader, Writer};
 use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+
+/// Interns a decoded event tag so it can live behind the `&'static str`
+/// that [`ProtoEvent::kind`] requires. Kinds form a small, closed set
+/// (a few dozen dot-namespaced tags), so a linear scan of the registry
+/// is cheaper than a hash lookup and each distinct tag leaks at most
+/// once per process.
+fn intern_kind(s: &str) -> &'static str {
+    static KINDS: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let mut table = KINDS.get_or_init(Mutex::default).lock().unwrap();
+    if let Some(k) = table.iter().find(|k| **k == s) {
+        return k;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    table.push(leaked);
+    leaked
+}
 
 /// A protocol-defined trace event: a flat record the engine can store
 /// without knowing the protocol's message types. `kind` is a static,
@@ -241,6 +259,177 @@ impl FlightRecorder {
     }
 }
 
+impl Encode for ProtoEvent {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.kind.len() as u64);
+        w.put_bytes(self.kind.as_bytes());
+        self.flow.encode(w);
+        w.put_u64(self.a);
+        w.put_u64(self.b);
+    }
+}
+
+impl Decode for ProtoEvent {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let kind = String::decode(r)?;
+        Ok(ProtoEvent {
+            kind: intern_kind(&kind),
+            flow: Option::<u64>::decode(r)?,
+            a: r.take_u64()?,
+            b: r.take_u64()?,
+        })
+    }
+}
+
+impl Encode for TraceEvent {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            TraceEvent::MsgSend { dst, bytes, flow } => {
+                w.put_u8(0);
+                dst.encode(w);
+                bytes.encode(w);
+                flow.encode(w);
+            }
+            TraceEvent::MsgDeliver { src, bytes, flow } => {
+                w.put_u8(1);
+                src.encode(w);
+                bytes.encode(w);
+                flow.encode(w);
+            }
+            TraceEvent::MsgDropDead { src, flow } => {
+                w.put_u8(2);
+                src.encode(w);
+                flow.encode(w);
+            }
+            TraceEvent::MsgDropLoss { dst, flow } => {
+                w.put_u8(3);
+                dst.encode(w);
+                flow.encode(w);
+            }
+            TraceEvent::MsgDropPartition { dst, flow } => {
+                w.put_u8(4);
+                dst.encode(w);
+                flow.encode(w);
+            }
+            TraceEvent::MsgDuplicate { dst, flow } => {
+                w.put_u8(5);
+                dst.encode(w);
+                flow.encode(w);
+            }
+            TraceEvent::SendFailed { dst, flow } => {
+                w.put_u8(6);
+                dst.encode(w);
+                flow.encode(w);
+            }
+            TraceEvent::NodeFail => w.put_u8(7),
+            TraceEvent::NodeRevive => w.put_u8(8),
+            TraceEvent::Proto(p) => {
+                w.put_u8(9);
+                p.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for TraceEvent {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(match r.take_u8()? {
+            0 => TraceEvent::MsgSend {
+                dst: usize::decode(r)?,
+                bytes: usize::decode(r)?,
+                flow: Option::decode(r)?,
+            },
+            1 => TraceEvent::MsgDeliver {
+                src: usize::decode(r)?,
+                bytes: usize::decode(r)?,
+                flow: Option::decode(r)?,
+            },
+            2 => TraceEvent::MsgDropDead {
+                src: usize::decode(r)?,
+                flow: Option::decode(r)?,
+            },
+            3 => TraceEvent::MsgDropLoss {
+                dst: usize::decode(r)?,
+                flow: Option::decode(r)?,
+            },
+            4 => TraceEvent::MsgDropPartition {
+                dst: usize::decode(r)?,
+                flow: Option::decode(r)?,
+            },
+            5 => TraceEvent::MsgDuplicate {
+                dst: usize::decode(r)?,
+                flow: Option::decode(r)?,
+            },
+            6 => TraceEvent::SendFailed {
+                dst: usize::decode(r)?,
+                flow: Option::decode(r)?,
+            },
+            7 => TraceEvent::NodeFail,
+            8 => TraceEvent::NodeRevive,
+            9 => TraceEvent::Proto(ProtoEvent::decode(r)?),
+            _ => return Err(Error::InvalidValue("trace event tag")),
+        })
+    }
+}
+
+impl Encode for TraceRecord {
+    fn encode(&self, w: &mut Writer) {
+        self.time.encode(w);
+        self.node.encode(w);
+        self.event.encode(w);
+    }
+}
+
+impl Decode for TraceRecord {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(TraceRecord {
+            time: SimTime::decode(r)?,
+            node: usize::decode(r)?,
+            event: TraceEvent::decode(r)?,
+        })
+    }
+}
+
+// The ring buffer is captured verbatim — retained window, capacity, and
+// both lifetime counters — so a restored run's report (which embeds the
+// trace summary) is byte-identical to the uninterrupted run's.
+impl Encode for FlightRecorder {
+    fn encode(&self, w: &mut Writer) {
+        self.capacity.encode(w);
+        w.put_u64(self.recorded);
+        w.put_u64(self.evicted);
+        w.put_u64(self.buf.len() as u64);
+        for rec in &self.buf {
+            rec.encode(w);
+        }
+    }
+}
+
+impl Decode for FlightRecorder {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let capacity = usize::decode(r)?;
+        if capacity == 0 {
+            return Err(Error::InvalidValue("flight recorder capacity"));
+        }
+        let recorded = r.take_u64()?;
+        let evicted = r.take_u64()?;
+        let n = usize::decode(r)?;
+        if n > capacity {
+            return Err(Error::InvalidValue("flight recorder overfull"));
+        }
+        let mut buf = VecDeque::with_capacity(capacity.min(1 << 20));
+        for _ in 0..n {
+            buf.push_back(TraceRecord::decode(r)?);
+        }
+        Ok(FlightRecorder {
+            buf,
+            capacity,
+            recorded,
+            evicted,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +501,37 @@ mod tests {
             counts,
             vec![("net.node_fail", 2), ("net.node_revive", 1), ("test.ev", 1)]
         );
+    }
+
+    #[test]
+    fn recorder_snapshot_round_trip_preserves_window_and_counters() {
+        let mut rec = FlightRecorder::new(3);
+        rec.record(SimTime::from_millis(1), 0, TraceEvent::NodeFail);
+        for i in 0..5 {
+            rec.record(SimTime::from_millis(2 + i), i as usize, ev(i));
+        }
+        rec.record(
+            SimTime::from_millis(9),
+            2,
+            TraceEvent::MsgSend {
+                dst: 4,
+                bytes: 77,
+                flow: Some(12),
+            },
+        );
+        let mut w = Writer::new();
+        rec.encode(&mut w);
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        let back = FlightRecorder::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.capacity(), rec.capacity());
+        assert_eq!(back.recorded(), rec.recorded());
+        assert_eq!(back.evicted(), rec.evicted());
+        let a: Vec<&TraceRecord> = rec.iter().collect();
+        let b: Vec<&TraceRecord> = back.iter().collect();
+        assert_eq!(a, b);
+        assert_eq!(back.kind_counts(), rec.kind_counts());
     }
 
     #[test]

@@ -1,14 +1,44 @@
 #!/bin/bash
 # Regenerates every table and figure of the paper at full scale.
+#
+# Resumable: each binary that completes drops a stamp in
+# results/.checkpoints/, and a rerun skips stamped steps, so a failed or
+# interrupted sweep picks up from the last completed step instead of
+# redoing hours of work. A failed step's partial output is archived to
+# results/archive/ (timestamped) rather than silently clobbered on the
+# next attempt. Use --fresh to clear the stamps and rerun everything.
+#
 # Exits nonzero (with a FAILED summary block) if any binary fails.
 set -u
 cd /root/repo
 BIN=target/release
+STAMPS=results/.checkpoints
+ARCHIVE=results/archive
+mkdir -p results "$STAMPS"
+
+if [ "${1:-}" = "--fresh" ]; then
+  echo "fresh run requested: clearing $STAMPS"
+  rm -f "$STAMPS"/*.done
+fi
+
 FAILED=()
+SKIPPED=0
 for b in table1 table2 fig2 fig4 fig3 baseline_compare ablation_subscheme ablation_rotation ablation_base fig5; do
+  if [ -f "$STAMPS/$b.done" ]; then
+    echo "=== $b already done ($(cat "$STAMPS/$b.done")), skipping ==="
+    SKIPPED=$((SKIPPED + 1))
+    continue
+  fi
   echo "=== $b start $(date +%T) ==="
-  if ! { time $BIN/$b > results/$b.txt ; } 2> results/$b.time ; then
+  if { time $BIN/$b > results/$b.txt ; } 2> results/$b.time ; then
+    date -u +%Y-%m-%dT%H:%M:%SZ > "$STAMPS/$b.done"
+  else
     echo "$b FAILED (see results/$b.time)"
+    mkdir -p "$ARCHIVE"
+    ts=$(date -u +%Y%m%dT%H%M%SZ)
+    for f in results/$b.txt results/$b.time; do
+      [ -s "$f" ] && cp "$f" "$ARCHIVE/$(basename "$f").$ts"
+    done
     FAILED+=("$b")
   fi
   echo "=== $b done $(date +%T) ==="
@@ -16,7 +46,8 @@ done
 if [ ${#FAILED[@]} -gt 0 ]; then
   echo "=== FAILED ==="
   printf '%s\n' "${FAILED[@]}"
-  echo "${#FAILED[@]} of 10 binaries failed"
+  echo "${#FAILED[@]} of 10 binaries failed ($SKIPPED skipped as already done)"
+  echo "rerun ./run_experiments.sh to resume from the last completed step"
   exit 1
 fi
-echo ALL_DONE
+echo "ALL_DONE ($SKIPPED skipped as already done)"

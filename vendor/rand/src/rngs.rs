@@ -32,6 +32,21 @@ impl SeedableRng for SmallRng {
     }
 }
 
+impl SmallRng {
+    /// The raw xoshiro256++ state, for checkpointing. Restoring via
+    /// [`SmallRng::from_state`] continues the exact output stream.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a previously captured [`state`].
+    ///
+    /// [`state`]: SmallRng::state
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SmallRng { s }
+    }
+}
+
 impl RngCore for SmallRng {
     fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;

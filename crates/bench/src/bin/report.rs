@@ -139,6 +139,26 @@ fn diff(pa: &str, a: &Report, pb: &str, b: &Report) -> ExitCode {
         .into_iter()
         .filter(|n| counter_total(a, n) != counter_total(b, n))
         .collect();
+    // The grid index's duplication factor (registrations per indexed
+    // entry) tracks how finely subscriptions fragment across cells. It
+    // moves only when the index geometry or the push-down logic changes,
+    // so >10% relative drift on the same workload is worth a warning even
+    // when digests match (the factor is derived state, not traffic).
+    // Skipped when either side predates the counters or indexed nothing.
+    let factor = |r: &Report| {
+        let entries = counter_total(r, "index.grid_entries");
+        (entries > 0).then(|| counter_total(r, "index.grid_registrations") as f64 / entries as f64)
+    };
+    if let (Some(fa), Some(fb)) = (factor(a), factor(b)) {
+        let drift = (fb - fa).abs() / fa;
+        if drift > 0.10 {
+            eprintln!(
+                "report diff: WARNING — grid duplication factor drifted \
+                 {fa:.2} -> {fb:.2} ({:+.1}%)",
+                100.0 * (fb - fa) / fa
+            );
+        }
+    }
     let mut failed = false;
     if !drifted.is_empty() {
         eprintln!(

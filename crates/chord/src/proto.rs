@@ -164,6 +164,18 @@ impl MaintState {
         self.chord.add_successor(peer);
     }
 
+    /// Forgets every past liveness observation: tombstones and in-flight
+    /// probe strikes. Call when this node itself rejoins after downtime —
+    /// its observations predate the failure and are stale, and a stale
+    /// tombstone deadlocks ring repair when two adjacent nodes churn
+    /// (each refuses the gossip that names the other, and neither ever
+    /// contacts the other directly to lift the tombstone).
+    pub fn rejoin_reset(&mut self) {
+        self.dead.clear();
+        self.awaiting_stab = None;
+        self.awaiting_pred = None;
+    }
+
     /// Records a node observed dead (e.g. via a send failure): evicts it
     /// from all routing state and tombstones it against gossip.
     pub fn note_dead(&mut self, idx: usize) {
@@ -402,7 +414,20 @@ impl MaintState {
                 // offering it implements the rule).
                 if let Some(p) = pred {
                     if p.idx != self.chord.idx {
-                        self.add_successor_checked(p);
+                        if self.dead.contains(&p.idx) {
+                            // Resurrection check: gossip alone must not
+                            // revive a tombstoned peer, but a rejoined
+                            // node that re-enters as someone's predecessor
+                            // would otherwise stay invisible to the node
+                            // *behind* it forever (it only announces
+                            // itself forward, via Notify to its
+                            // successor). Probe it directly: a live reply
+                            // lifts the tombstone, silence changes
+                            // nothing.
+                            out.sends.push((p.idx, ChordMsg::GetNeighbors));
+                        } else {
+                            self.chord.add_successor(p);
+                        }
                     }
                 }
                 if self.chord.successor().map(|s| s.idx) == Some(from) {
@@ -786,6 +811,110 @@ mod tests {
         // Self-observation is a no-op.
         m.observe_peer(Peer { id: 100, idx: 0 });
         assert_eq!(m.chord.predecessor, Some(p));
+    }
+
+    #[test]
+    fn tombstoned_pred_gossip_is_probed_not_adopted() {
+        let mut m = MaintState::new(ChordState::new(100, 0, 4));
+        let succ = Peer { id: 140, idx: 2 };
+        let ghost = Peer { id: 120, idx: 5 };
+        m.chord.add_successor(succ);
+        m.note_dead(5);
+        // Successor gossips that a node we struck out is now its
+        // predecessor (it rejoined): we must not adopt it on hearsay, but
+        // we must go look.
+        let out = m.handle(
+            2,
+            ChordMsg::NeighborsReply {
+                pred: Some(ghost),
+                succs: vec![],
+            },
+        );
+        assert!(
+            !m.chord.successors.contains(&ghost),
+            "gossip alone must not revive a tombstoned peer"
+        );
+        assert!(
+            out.sends
+                .iter()
+                .any(|(dst, msg)| *dst == 5 && matches!(msg, ChordMsg::GetNeighbors)),
+            "a tombstoned pred hint must trigger a direct probe"
+        );
+        // The ghost answers the probe: direct contact lifts the tombstone,
+        // and the next round of the same gossip is adopted.
+        m.handle(
+            5,
+            ChordMsg::NeighborsReply {
+                pred: None,
+                succs: vec![],
+            },
+        );
+        m.handle(
+            2,
+            ChordMsg::NeighborsReply {
+                pred: Some(ghost),
+                succs: vec![],
+            },
+        );
+        assert!(
+            m.chord.successors.contains(&ghost),
+            "after a live reply the rejoined peer is adopted"
+        );
+    }
+
+    #[test]
+    fn rejoin_reset_forgets_observations() {
+        let mut m = MaintState::new(ChordState::new(100, 0, 4));
+        m.chord.add_successor(Peer { id: 140, idx: 2 });
+        m.note_dead(5);
+        m.note_dead(7);
+        let _ = m.stabilize_tick(); // arms awaiting_stab on the successor
+        assert!(m.awaiting_stab.is_some());
+        m.rejoin_reset();
+        assert!(m.dead.is_empty(), "tombstones cleared");
+        assert!(m.awaiting_stab.is_none() && m.awaiting_pred.is_none());
+        // Cleared tombstone: gossip about the peer is believed again.
+        let ghost = Peer { id: 120, idx: 5 };
+        m.handle(
+            2,
+            ChordMsg::NeighborsReply {
+                pred: Some(ghost),
+                succs: vec![],
+            },
+        );
+        assert!(m.chord.successors.contains(&ghost));
+    }
+
+    #[test]
+    fn adjacent_churned_pair_reintegrates() {
+        // The regression the scenario pack caught: two ring-adjacent nodes
+        // churn (down long enough for full eviction plus tombstones
+        // everywhere), then revive. Without resurrection probing and
+        // rejoin_reset the pair stays invisible to the node behind it and
+        // its key arc is orphaned forever.
+        let n = 12;
+        let mut sim = stabilized_sim(n);
+        // Pick two ring-adjacent indices by id order.
+        let mut by_id: Vec<(u64, usize)> =
+            (0..n).map(|i| (sim.node(i).maint.chord.id, i)).collect();
+        by_id.sort_unstable();
+        let (a, b) = (by_id[3].1, by_id[4].1);
+        sim.fail(a);
+        sim.fail(b);
+        // Long enough that every survivor evicts and tombstones both.
+        let t0 = sim.time();
+        sim.run_until(t0 + SimTime::from_secs(120));
+        sim.revive(a);
+        sim.revive(b);
+        for &i in &[a, b] {
+            sim.with_node_ctx(i, |node, ctx| {
+                node.maint.rejoin_reset();
+                ChordNode::arm_timers(ctx);
+            });
+        }
+        let t1 = sim.time();
+        sim.run_until(t1 + SimTime::from_secs(120));
+        ring_is_consistent(&sim, &(0..n).collect::<Vec<_>>());
     }
 
     #[test]

@@ -32,6 +32,14 @@
 //!   (fail-stop notification or `retry.give_up`) have their acceptor
 //!   surrogates scrubbed; the subscribers' own leases then re-install the
 //!   real entries here.
+//! * **Scrubbing** — each lease tick first drops every repository whose
+//!   zone key has left this node's responsibility arc. Soft state cuts
+//!   both ways: leases re-install what a node *should* hold, and
+//!   scrubbing removes what it should not — without it, every ownership
+//!   change strands repositories on the previous owner, which leases
+//!   keep re-pushing and replication keeps spreading, compounding total
+//!   state under sustained churn (found by the churn-soak scenario;
+//!   pinned by `lease_ticks_scrub_repositories_the_ring_took_away`).
 //!
 //! Everything is gated on `SystemConfig::heal.enabled`: when off, no lease
 //! timer is armed, no replica message is sent and every hook below is a
@@ -106,10 +114,61 @@ impl HyperSubNode {
             a: me,
             b: 0,
         });
+        self.scrub_foreign_repos(ctx);
         self.refresh_subscriptions(ctx);
         self.rebuild_chains(ctx);
         self.replicate_snapshot(ctx);
         self.heal_check_promotions(ctx);
+    }
+
+    /// Drops every repository whose zone key has left this node's
+    /// responsibility arc. A zone repository lives at the zone key's
+    /// Chord successor; after the ring shifts (churn, promotion of a
+    /// dead origin's replicas — which registers the origin's *whole*
+    /// repo union here) this node can hold repositories it no longer
+    /// owns. Keeping them is not just waste: `rebuild_chains` keeps
+    /// re-pushing them and `replicate_snapshot` keeps copying them to
+    /// successors, so under sustained churn every node's state converges
+    /// to the union of every repository that ever existed — compounding
+    /// each time ownership moves. Soft state means the inverse must
+    /// hold: what this node does not own here and now is garbage, and
+    /// the real owners' leases re-install live state within one period.
+    ///
+    /// Skipped while the predecessor is unknown (mid-join view):
+    /// `responsible_for` then claims only our own id, and scrubbing on
+    /// that view would drop everything we legitimately hold.
+    fn scrub_foreign_repos(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>) {
+        if self.maint.chord.predecessor.is_none() {
+            return;
+        }
+        let zone_params = self.cfg.zone;
+        let mut stale: Vec<RepoKey> = self
+            .repos
+            .keys()
+            .copied()
+            .filter(|&(scheme, ss, zone)| {
+                let rotation = self.registry.scheme(scheme).subschemes[ss as usize].rotation;
+                let key = hypersub_lph::rotation::rotate_key(zone.key(&zone_params), rotation);
+                !self.maint.chord.responsible_for(key)
+            })
+            .collect();
+        if stale.is_empty() {
+            return;
+        }
+        stale.sort_unstable();
+        let mut dropped = 0u64;
+        for k in &stale {
+            if let Some(repo) = self.repos.remove(k) {
+                dropped += repo.entries.len() as u64;
+                self.iids.remove(&repo.iid);
+            }
+        }
+        ctx.trace(|| ProtoEvent {
+            kind: "repair.scrub",
+            flow: None,
+            a: stale.len() as u64,
+            b: dropped,
+        });
     }
 
     /// Sends a full snapshot of every owned repository to the replica

@@ -1,0 +1,368 @@
+//! Machine-checked invariants over traces and reports.
+//!
+//! Adversity scenarios (the `hypersub-scenario` crate) pair each fault
+//! schedule with invariants evaluated *after the fact* from the
+//! artifacts a run already produces — [`crate::report::Report`], the
+//! per-event oracle ([`crate::metrics::EventStats`]), and the flight
+//! recorder's trace — rather than from ad-hoc mid-run asserts. Each
+//! evaluator returns a [`Verdict`]: a named pass/fail plus a
+//! human-readable detail line, so a failing scenario run reports *which*
+//! property broke and by how much instead of just panicking.
+//!
+//! Evaluators never panic on adversarial inputs: a truncated trace or a
+//! missing precondition is a *failed* verdict with an explanatory
+//! detail, not a crash — a harness must report, not die.
+
+use crate::metrics::EventStats;
+use crate::report::Report;
+use hypersub_simnet::{FlightRecorder, SimTime};
+
+/// The outcome of one invariant check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// Stable dot-namespaced invariant name, e.g. `"delivery.no_dups"`.
+    pub invariant: String,
+    /// Whether the invariant held.
+    pub passed: bool,
+    /// Human-readable evidence (numbers on both pass and fail).
+    pub details: String,
+}
+
+impl Verdict {
+    /// Builds a verdict from a condition plus evidence.
+    pub fn check(invariant: &str, passed: bool, details: impl Into<String>) -> Self {
+        Self {
+            invariant: invariant.to_string(),
+            passed,
+            details: details.into(),
+        }
+    }
+}
+
+/// No event was ever delivered twice to the same subscriber —
+/// retransmissions, fault duplication, repair, and migration must all be
+/// absorbed by the dedup layers.
+pub fn no_duplicate_deliveries(r: &Report) -> Verdict {
+    Verdict::check(
+        "delivery.no_dups",
+        r.events.duplicates == 0,
+        format!("{} duplicate deliveries", r.events.duplicates),
+    )
+}
+
+/// Every published event reached every matching subscriber (the world
+/// oracle's ground truth): zero permanent delivery loss over the whole
+/// run.
+pub fn complete_delivery(r: &Report) -> Verdict {
+    Verdict::check(
+        "delivery.no_permanent_loss",
+        r.events.delivered == r.events.expected,
+        format!(
+            "{}/{} (event, subscriber) pairs delivered",
+            r.events.delivered, r.events.expected
+        ),
+    )
+}
+
+/// The listed probe events were each delivered in full. Scenarios
+/// publish probes *after* the adversity ends (plus a healing window):
+/// losing any probe pair means the damage was permanent, not transient.
+pub fn probes_delivered(stats: &[EventStats], probe_ids: &[u64]) -> Verdict {
+    let mut missing = 0usize;
+    let mut lost_pairs = 0usize;
+    let (mut delivered, mut expected) = (0usize, 0usize);
+    for id in probe_ids {
+        match stats.iter().find(|s| s.event == *id) {
+            Some(s) => {
+                delivered += s.delivered;
+                expected += s.expected;
+                lost_pairs += s.expected.saturating_sub(s.delivered);
+            }
+            None => missing += 1,
+        }
+    }
+    let passed = missing == 0 && lost_pairs == 0 && !probe_ids.is_empty();
+    Verdict::check(
+        "heal.probes_delivered",
+        passed,
+        format!(
+            "{delivered}/{expected} probe pairs delivered over {} probes ({lost_pairs} lost, \
+             {missing} unaccounted)",
+            probe_ids.len()
+        ),
+    )
+}
+
+/// The reliable layer's give-up rate stayed bounded: at most
+/// `max_rate` of all acked-or-abandoned sends were abandoned. With no
+/// reliable sends at all the invariant holds vacuously.
+pub fn bounded_give_up_rate(r: &Report, max_rate: f64) -> Verdict {
+    let give_ups = r.counter_total("retry.give_ups");
+    let acks = r.counter_total("retry.acks");
+    let settled = give_ups + acks;
+    let rate = if settled == 0 {
+        0.0
+    } else {
+        give_ups as f64 / settled as f64
+    };
+    Verdict::check(
+        "retry.bounded_give_ups",
+        rate <= max_rate,
+        format!("{give_ups} give-ups / {settled} settled sends ({rate:.4} <= {max_rate})"),
+    )
+}
+
+/// No reliable send was abandoned at all — the strict form of
+/// [`bounded_give_up_rate`] for scenarios whose faults the retry chain
+/// must fully bridge.
+pub fn no_give_ups(r: &Report) -> Verdict {
+    let give_ups = r.counter_total("retry.give_ups");
+    Verdict::check(
+        "retry.no_give_ups",
+        give_ups == 0,
+        format!("{give_ups} retry give-ups"),
+    )
+}
+
+/// Load-balancing migration both *happened* and *converged*: the trace
+/// shows at least one offer and one acked handoff, and all migration
+/// activity fits within `k` LB periods of the first offer. Fails when
+/// the trace ring evicted records (the first offer may be gone — size
+/// the recorder for the run) or when no migration fired at all.
+pub fn migration_converged(rec: &FlightRecorder, period: SimTime, k: u64) -> Verdict {
+    if rec.evicted() > 0 {
+        return Verdict::check(
+            "lb.converged",
+            false,
+            format!("trace truncated ({} evicted records)", rec.evicted()),
+        );
+    }
+    let mut first_offer: Option<SimTime> = None;
+    let mut last_activity: Option<SimTime> = None;
+    let mut offers = 0u64;
+    let mut acks = 0u64;
+    for r in rec.iter() {
+        match r.event.kind() {
+            "lb.offer" => {
+                offers += 1;
+                first_offer.get_or_insert(r.time);
+                last_activity = Some(r.time);
+            }
+            "lb.migrate_ack" => {
+                acks += 1;
+                last_activity = Some(r.time);
+            }
+            _ => {}
+        }
+    }
+    let (Some(first), Some(last)) = (first_offer, last_activity) else {
+        return Verdict::check(
+            "lb.converged",
+            false,
+            format!("no migration activity in trace ({offers} offers, {acks} acks)"),
+        );
+    };
+    if acks == 0 {
+        return Verdict::check(
+            "lb.converged",
+            false,
+            format!("{offers} offers but no acked handoff"),
+        );
+    }
+    let window = SimTime(period.0.saturating_mul(k));
+    let span = last.saturating_sub(first);
+    Verdict::check(
+        "lb.converged",
+        span <= window,
+        format!(
+            "{offers} offers / {acks} acks, activity span {:.1}s <= {k} x {:.0}s periods",
+            span.as_secs_f64(),
+            period.as_secs_f64()
+        ),
+    )
+}
+
+/// No single node holds more than `max_share` of the total stored
+/// subscription load — the flash crowd's hot surrogate must have shed
+/// load. Vacuously fails when there is no load at all (the scenario
+/// did not install what it promised).
+pub fn balanced_load(loads: &[u64], max_share: f64) -> Verdict {
+    let total: u64 = loads.iter().sum();
+    let max = loads.iter().copied().max().unwrap_or(0);
+    let share = if total == 0 {
+        1.0
+    } else {
+        max as f64 / total as f64
+    };
+    Verdict::check(
+        "lb.balanced",
+        total > 0 && share <= max_share,
+        format!("hottest node holds {max}/{total} stored subs ({share:.3} <= {max_share})"),
+    )
+}
+
+/// No trace record of `kind` at or after `t` — e.g. no
+/// `net.drop_partition` after the partition's scheduled heal. Sound
+/// even on a truncated trace: eviction only discards the *oldest*
+/// records, so the retained tail is exactly where a late record would
+/// be.
+pub fn trace_silent_after(rec: &FlightRecorder, kind: &str, t: SimTime) -> Verdict {
+    let late = rec
+        .iter()
+        .filter(|r| r.event.kind() == kind && r.time >= t)
+        .count();
+    Verdict::check(
+        "trace.silent_after_heal",
+        late == 0,
+        format!(
+            "{late} {kind:?} records at or after {:.1}s",
+            t.as_secs_f64()
+        ),
+    )
+}
+
+/// The fault machinery actually fired: `observed` (a count taken from
+/// the report or trace, e.g. partition drops) is nonzero. Guards
+/// scenarios against silently passing because the adversity never
+/// happened.
+pub fn adversity_fired(what: &str, observed: u64) -> Verdict {
+    Verdict::check(
+        "scenario.adversity_fired",
+        observed > 0,
+        format!("{observed} {what}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{EventSummary, Report};
+    use hypersub_simnet::{SimTime, TraceEvent};
+
+    fn report(expected: u64, delivered: u64, duplicates: u64) -> Report {
+        Report {
+            events: EventSummary {
+                published: 4,
+                expected,
+                delivered,
+                duplicates,
+                max_hops: 3,
+                max_latency_us: 1000,
+            },
+            ..Report::default()
+        }
+    }
+
+    #[test]
+    fn delivery_verdicts() {
+        assert!(complete_delivery(&report(10, 10, 0)).passed);
+        let v = complete_delivery(&report(10, 8, 0));
+        assert!(!v.passed);
+        assert!(v.details.contains("8/10"));
+        assert!(no_duplicate_deliveries(&report(10, 10, 0)).passed);
+        assert!(!no_duplicate_deliveries(&report(10, 10, 2)).passed);
+    }
+
+    #[test]
+    fn give_up_verdicts_handle_absent_counters() {
+        // Reports without retry counters (retries off) hold vacuously.
+        assert!(bounded_give_up_rate(&report(1, 1, 0), 0.1).passed);
+        assert!(no_give_ups(&report(1, 1, 0)).passed);
+        let mut r = report(1, 1, 0);
+        r.counters.push((
+            "retry.give_ups".into(),
+            crate::report::CounterSummary {
+                total: 3,
+                max_node: 2,
+            },
+        ));
+        r.counters.push((
+            "retry.acks".into(),
+            crate::report::CounterSummary {
+                total: 97,
+                max_node: 50,
+            },
+        ));
+        assert!(!no_give_ups(&r).passed);
+        assert!(bounded_give_up_rate(&r, 0.05).passed, "3/100 <= 5%");
+        assert!(!bounded_give_up_rate(&r, 0.01).passed);
+    }
+
+    fn lb_event(kind: &'static str) -> TraceEvent {
+        TraceEvent::Proto(hypersub_simnet::ProtoEvent {
+            kind,
+            flow: None,
+            a: 0,
+            b: 0,
+        })
+    }
+
+    #[test]
+    fn migration_convergence_needs_activity_within_window() {
+        let period = SimTime::from_secs(30);
+        let mut rec = FlightRecorder::new(64);
+        assert!(!migration_converged(&rec, period, 9).passed, "no activity");
+        rec.record(SimTime::from_secs(30), 0, lb_event("lb.offer"));
+        assert!(!migration_converged(&rec, period, 9).passed, "no ack");
+        rec.record(SimTime::from_secs(45), 1, lb_event("lb.migrate_ack"));
+        assert!(migration_converged(&rec, period, 9).passed);
+        // Activity far past the window fails.
+        rec.record(SimTime::from_secs(30 + 30 * 10), 0, lb_event("lb.offer"));
+        assert!(!migration_converged(&rec, period, 9).passed);
+    }
+
+    #[test]
+    fn truncated_trace_fails_convergence_closed() {
+        let mut rec = FlightRecorder::new(2);
+        for i in 0..5 {
+            rec.record(SimTime::from_secs(i), 0, lb_event("lb.offer"));
+        }
+        let v = migration_converged(&rec, SimTime::from_secs(30), 9);
+        assert!(!v.passed);
+        assert!(v.details.contains("truncated"));
+    }
+
+    #[test]
+    fn balance_and_silence_and_firing() {
+        assert!(balanced_load(&[10, 12, 9], 0.5).passed);
+        assert!(!balanced_load(&[100, 1, 1], 0.5).passed);
+        assert!(!balanced_load(&[0, 0], 0.9).passed, "no load = no evidence");
+
+        let mut rec = FlightRecorder::new(16);
+        rec.record(
+            SimTime::from_secs(10),
+            0,
+            TraceEvent::MsgDropPartition { dst: 1, flow: None },
+        );
+        assert!(trace_silent_after(&rec, "net.drop_partition", SimTime::from_secs(20)).passed);
+        assert!(!trace_silent_after(&rec, "net.drop_partition", SimTime::from_secs(10)).passed);
+
+        assert!(adversity_fired("partition drops", 3).passed);
+        assert!(!adversity_fired("partition drops", 0).passed);
+    }
+
+    #[test]
+    fn probe_verdict_accounts_every_probe() {
+        let stat = |event, expected, delivered| EventStats {
+            event,
+            publish_time: SimTime::ZERO,
+            publish_node: 0,
+            expected,
+            delivered,
+            duplicates: 0,
+            max_hops: 0,
+            max_latency: SimTime::ZERO,
+            bandwidth_bytes: 0,
+            messages: 0,
+            matched_fraction: 0.0,
+        };
+        let stats = vec![stat(1, 3, 3), stat(2, 2, 1)];
+        assert!(probes_delivered(&stats, &[1]).passed);
+        assert!(!probes_delivered(&stats, &[1, 2]).passed, "lost pair");
+        assert!(!probes_delivered(&stats, &[1, 9]).passed, "unknown probe");
+        assert!(
+            !probes_delivered(&stats, &[]).passed,
+            "no probes = no evidence"
+        );
+    }
+}

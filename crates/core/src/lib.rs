@@ -80,6 +80,7 @@ pub mod error;
 pub mod heal;
 pub mod index;
 pub mod install;
+pub mod invariant;
 pub mod loadbal;
 pub mod metrics;
 pub mod model;
@@ -130,6 +131,7 @@ pub mod advanced {
 pub mod prelude {
     pub use crate::config::{HealConfig, LbConfig, RetryConfig, SystemConfig};
     pub use crate::error::{HyperSubError, Result};
+    pub use crate::invariant::Verdict;
     pub use crate::metrics::{EventStats, Metrics};
     pub use crate::model::{Event, Registry, SchemeDef, SchemeId, SubId, Subscription};
     pub use crate::node::HyperSubNode;

@@ -133,7 +133,7 @@ impl Network {
             duplicated: n.duplicated(),
         };
         let proto = &self.metrics().proto;
-        let counters = proto
+        let mut counters: Vec<(String, CounterSummary)> = proto
             .counters()
             .iter()
             .map(|&(name, c)| {
@@ -146,6 +146,21 @@ impl Network {
                 )
             })
             .collect();
+        // Grid-index occupancy, summed over every node's zone repos. The
+        // ratio registrations/entries is the *duplication factor* the
+        // hotpath bench prints; exporting both sides lets `report diff`
+        // guard its drift between pinned runs.
+        let (mut grid_regs, mut grid_entries) =
+            (CounterSummary::default(), CounterSummary::default());
+        for n in self.nodes() {
+            let (regs, entries) = n.index_stats();
+            grid_regs.total += regs;
+            grid_regs.max_node = grid_regs.max_node.max(regs);
+            grid_entries.total += entries;
+            grid_entries.max_node = grid_entries.max_node.max(entries);
+        }
+        counters.push(("index.grid_registrations".to_string(), grid_regs));
+        counters.push(("index.grid_entries".to_string(), grid_entries));
         let histograms = proto
             .histograms()
             .iter()
@@ -200,6 +215,16 @@ fn push_str(out: &mut String, s: &str) {
 }
 
 impl Report {
+    /// Total of the named counter, or 0 when the report predates it —
+    /// keeps old baselines comparable as the counter registry grows.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c.total)
+            .unwrap_or(0)
+    }
+
     /// Serializes to a pretty-printed JSON document.
     pub fn to_json(&self) -> String {
         let mut o = String::with_capacity(2048);

@@ -522,6 +522,11 @@ impl Network {
         let maintenance = n.maintenance;
         if heal {
             self.sim.with_node_ctx(node, |n, ctx| {
+                // Liveness observations predate the downtime: stale
+                // tombstones would make this node refuse the very gossip
+                // that re-knits its neighborhood (see
+                // `MaintState::rejoin_reset`).
+                n.maint.rejoin_reset();
                 n.repos.clear();
                 n.hosted.clear();
                 n.replicas.clear();

@@ -1,0 +1,208 @@
+//! Internet-scale adversity scenarios with invariant-checked verdicts.
+//!
+//! Each [`Scenario`] composes the workspace's fault plane, workload
+//! generator, and protocol defenses (load balancing, retransmission,
+//! self-healing) into a named, seeded, long-horizon schedule, and pairs
+//! it with machine-checked invariants evaluated *after the fact* from
+//! the run's own artifacts — the flight-recorder trace, the per-event
+//! delivery oracle, and the exported [`Report`](hypersub_core::report::Report).
+//! A run therefore ends in a [`ScenarioOutcome`]: a pass/fail verdict
+//! per invariant plus the run digest, serializable as JSON for CI
+//! artifacts.
+//!
+//! The pack is falsifiable by construction: every scenario names the
+//! defense mechanism it exercises, and running with
+//! [`RunConfig::without_defense`] must flip that scenario's *designated
+//! invariant* to failed — the workspace tests prove it for each one. A
+//! harness that cannot fail is not a harness.
+//!
+//! | scenario | adversity | defense | designated invariant |
+//! |---|---|---|---|
+//! | `flash_crowd` | Zipf-shifted publish storm onto one hot surrogate | load balancing | `lb.converged` |
+//! | `diurnal_waves` | diurnal rate + mass join/leave waves + permanent departures | self-healing | `heal.probes_delivered` |
+//! | `churn_soak` | sustained ~31% churn across checkpointed segments | healing + retries | `heal.probes_delivered` |
+//! | `asymmetric_partition` | 25% island cut off for 30 s | deepened retry chain | `delivery.no_permanent_loss` |
+//! | `slow_link` | 30 s of bufferbloat (delay + jitter + loss) | retries + dedup | `delivery.no_permanent_loss` |
+
+mod diurnal;
+mod flash;
+mod partition;
+mod runner;
+mod slowlink;
+pub mod soak;
+
+pub use runner::{RunConfig, ScenarioOutcome, Tier};
+pub use soak::{run_segment as soak_segment, segment_count as soak_segment_count, SoakStep};
+
+use hypersub_core::error::Result;
+
+/// One named adversity scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Zipf-shifted publish storm against dynamic migration.
+    FlashCrowd,
+    /// Diurnal load with mass join/leave waves against self-healing.
+    DiurnalWaves,
+    /// Sustained churn soak, checkpointed into segments.
+    ChurnSoak,
+    /// A minority island partition against a deepened retry chain.
+    AsymmetricPartition,
+    /// A bufferbloat window against retries + exactly-once dedup.
+    SlowLink,
+}
+
+impl Scenario {
+    /// Every scenario in the pack, in canonical order.
+    pub const ALL: [Scenario; 5] = [
+        Scenario::FlashCrowd,
+        Scenario::DiurnalWaves,
+        Scenario::ChurnSoak,
+        Scenario::AsymmetricPartition,
+        Scenario::SlowLink,
+    ];
+
+    /// Stable machine name (CLI argument, JSON field, stamp files).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::FlashCrowd => "flash_crowd",
+            Scenario::DiurnalWaves => "diurnal_waves",
+            Scenario::ChurnSoak => "churn_soak",
+            Scenario::AsymmetricPartition => "asymmetric_partition",
+            Scenario::SlowLink => "slow_link",
+        }
+    }
+
+    /// One-line description for `scenario list`.
+    pub fn description(&self) -> &'static str {
+        match self {
+            Scenario::FlashCrowd => {
+                "Zipf-shifted publish storm onto one hot surrogate; migration must converge"
+            }
+            Scenario::DiurnalWaves => {
+                "diurnal load, mass join/leave waves, permanent departures; healing must close the loss window"
+            }
+            Scenario::ChurnSoak => {
+                "sustained ~31% churn across checkpointed segments; probes must deliver after calm"
+            }
+            Scenario::AsymmetricPartition => {
+                "25% island cut for 30 s; the deepened retry chain must bridge the outage"
+            }
+            Scenario::SlowLink => {
+                "30 s bufferbloat window (delay+jitter+loss); retries must repair, dedup must absorb"
+            }
+        }
+    }
+
+    /// The defense mechanism the scenario exercises.
+    pub fn defense(&self) -> &'static str {
+        match self {
+            Scenario::FlashCrowd => "load balancing (subscription migration)",
+            Scenario::DiurnalWaves => "self-healing (replication + leases)",
+            Scenario::ChurnSoak => "self-healing + retries",
+            Scenario::AsymmetricPartition => "retries (max_attempts 8)",
+            Scenario::SlowLink => "retries (max_attempts 6) + dedup",
+        }
+    }
+
+    /// The invariant that must flip to *failed* when the defense is
+    /// disabled — the falsifiability contract the workspace tests pin.
+    pub fn designated_invariant(&self) -> &'static str {
+        match self {
+            Scenario::FlashCrowd => "lb.converged",
+            Scenario::DiurnalWaves | Scenario::ChurnSoak => "heal.probes_delivered",
+            Scenario::AsymmetricPartition | Scenario::SlowLink => "delivery.no_permanent_loss",
+        }
+    }
+
+    /// Looks a scenario up by its machine name.
+    pub fn from_name(name: &str) -> Option<Scenario> {
+        Scenario::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Runs the scenario to completion and evaluates its invariants.
+    ///
+    /// # Errors
+    /// Propagates network construction/publish/snapshot errors; invariant
+    /// *failures* are not errors — they come back as failed verdicts in
+    /// the outcome.
+    pub fn run(&self, cfg: &RunConfig) -> Result<ScenarioOutcome> {
+        match self {
+            Scenario::FlashCrowd => flash::run(cfg),
+            Scenario::DiurnalWaves => diurnal::run(cfg),
+            Scenario::ChurnSoak => soak::run(cfg),
+            Scenario::AsymmetricPartition => partition::run(cfg),
+            Scenario::SlowLink => slowlink::run(cfg),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_and_are_distinct() {
+        for s in Scenario::ALL {
+            assert_eq!(Scenario::from_name(s.name()), Some(s));
+            assert!(!s.description().is_empty());
+            assert!(!s.defense().is_empty());
+        }
+        assert_eq!(Scenario::from_name("no_such_scenario"), None);
+    }
+
+    #[test]
+    fn outcome_json_is_well_formed() {
+        use hypersub_core::invariant::Verdict;
+        let out = ScenarioOutcome {
+            scenario: "flash_crowd",
+            tier: Tier::Quick,
+            seed: 7,
+            defense: true,
+            nodes: 32,
+            sim_time_us: 1_000_000,
+            steps: 42,
+            digest: 0xdead_beef_cafe_f00d,
+            published: 10,
+            expected: 20,
+            delivered: 20,
+            duplicates: 0,
+            verdicts: vec![
+                Verdict::check("lb.converged", true, "3 offers / 2 acks"),
+                Verdict::check("delivery.no_dups", true, "0 \"dups\""),
+            ],
+        };
+        let json = out.to_json();
+        assert!(json.contains("\"scenario\": \"flash_crowd\""));
+        assert!(json.contains("\"digest\": \"0xdeadbeefcafef00d\""));
+        assert!(json.contains("\"passed\": true"));
+        assert!(json.contains("\\\"dups\\\""), "details are escaped");
+        assert!(out.passed());
+        assert!(out.verdict("lb.converged").unwrap().passed);
+        assert!(out.verdict("nope").is_none());
+    }
+
+    #[test]
+    fn outcome_with_a_failed_verdict_fails() {
+        use hypersub_core::invariant::Verdict;
+        let mut out = ScenarioOutcome {
+            scenario: "x",
+            tier: Tier::Full,
+            seed: 0,
+            defense: false,
+            nodes: 0,
+            sim_time_us: 0,
+            steps: 0,
+            digest: 0,
+            published: 0,
+            expected: 0,
+            delivered: 0,
+            duplicates: 0,
+            verdicts: vec![],
+        };
+        assert!(!out.passed(), "no verdicts is not a pass");
+        out.verdicts.push(Verdict::check("a", true, ""));
+        out.verdicts.push(Verdict::check("b", false, "broken"));
+        assert!(!out.passed());
+        assert!(out.to_json().contains("\"passed\": false"));
+    }
+}

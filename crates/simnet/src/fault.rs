@@ -13,6 +13,13 @@
 //!   crossing the cut are silently dropped in both directions. Healing is
 //!   implicit (the window ends); multiple overlapping windows compose as
 //!   "dropped if any active partition separates the endpoints".
+//! * **Policy windows** ([`FaultPlane::add_policy_window`]) — timed
+//!   global-policy overrides: while `[from, until)` covers the current
+//!   time, the window's policy replaces the steady-state global policy
+//!   (per-link overrides still win). Overlapping windows resolve to the
+//!   most recently added active one; zero-length windows are no-ops.
+//!   This is how scenarios schedule fault/latency *phases* — a
+//!   bufferbloat hour, a lossy afternoon — over one long run.
 //! * **Silence** — all fault losses are *silent*: unlike fail-stop death
 //!   of the destination, the sender gets no [`crate::Node::on_send_failed`]
 //!   callback. Recovering from them is the protocol's job (acks/retries).
@@ -108,6 +115,20 @@ impl Partition {
     }
 }
 
+/// A timed override of the global link policy.
+#[derive(Debug, Clone)]
+struct PolicyWindow {
+    policy: LinkPolicy,
+    from: SimTime,
+    until: SimTime,
+}
+
+impl PolicyWindow {
+    fn active(&self, now: SimTime) -> bool {
+        now >= self.from && now < self.until
+    }
+}
+
 /// What the plane decided for one message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
@@ -133,6 +154,7 @@ pub struct FaultPlane {
     global: LinkPolicy,
     links: HashMap<(usize, usize), LinkPolicy>,
     partitions: Vec<Partition>,
+    windows: Vec<PolicyWindow>,
 }
 
 impl FaultPlane {
@@ -144,6 +166,7 @@ impl FaultPlane {
             global: LinkPolicy::IDEAL,
             links: HashMap::new(),
             partitions: Vec::new(),
+            windows: Vec::new(),
         }
     }
 
@@ -169,9 +192,29 @@ impl FaultPlane {
         from: SimTime,
         until: SimTime,
     ) -> &mut Self {
-        assert!(from < until, "partition window must be non-empty");
+        assert!(from <= until, "partition window must not be inverted");
         self.partitions.push(Partition {
             side_a: side_a.into_iter().collect(),
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Schedules a timed global-policy override: from `from` (inclusive)
+    /// until `until` (exclusive), `policy` replaces the steady-state
+    /// global policy on every link without a per-link override. When
+    /// several windows cover the same instant, the most recently added
+    /// one wins. A zero-length window (`from == until`) is a no-op.
+    pub fn add_policy_window(
+        &mut self,
+        policy: LinkPolicy,
+        from: SimTime,
+        until: SimTime,
+    ) -> &mut Self {
+        assert!(from <= until, "policy window must not be inverted");
+        self.windows.push(PolicyWindow {
+            policy,
             from,
             until,
         });
@@ -192,7 +235,10 @@ impl FaultPlane {
         if self.is_partitioned(src, dst, now) {
             return Verdict::DropPartition;
         }
-        let policy = *self.links.get(&(src, dst)).unwrap_or(&self.global);
+        let policy = match self.links.get(&(src, dst)) {
+            Some(p) => *p,
+            None => self.effective_global(now),
+        };
         if policy.is_ideal() {
             return Verdict::Deliver {
                 extra: SimTime::ZERO,
@@ -209,6 +255,18 @@ impl FaultPlane {
             None
         };
         Verdict::Deliver { extra, dup_extra }
+    }
+
+    /// The global policy in force at `now`: the most recently added
+    /// active window, or the steady-state global policy when no window
+    /// covers `now`. Pure — draws no randomness.
+    pub fn effective_global(&self, now: SimTime) -> LinkPolicy {
+        self.windows
+            .iter()
+            .rev()
+            .find(|w| w.active(now))
+            .map(|w| w.policy)
+            .unwrap_or(self.global)
     }
 
     fn draw_jitter(&mut self, jitter: SimTime) -> SimTime {
@@ -236,6 +294,24 @@ impl Decode for LinkPolicy {
             dup_prob: f64::decode(r)?,
             extra_delay: SimTime::decode(r)?,
             jitter: SimTime::decode(r)?,
+        })
+    }
+}
+
+impl Encode for PolicyWindow {
+    fn encode(&self, w: &mut Writer) {
+        self.policy.encode(w);
+        self.from.encode(w);
+        self.until.encode(w);
+    }
+}
+
+impl Decode for PolicyWindow {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(PolicyWindow {
+            policy: LinkPolicy::decode(r)?,
+            from: SimTime::decode(r)?,
+            until: SimTime::decode(r)?,
         })
     }
 }
@@ -274,6 +350,9 @@ impl Encode for FaultPlane {
         links.sort_unstable_by_key(|&(k, _)| k);
         links.encode(w);
         self.partitions.encode(w);
+        // Policy windows keep insertion order verbatim: "last added wins"
+        // is part of the resolution semantics, not just byte stability.
+        self.windows.encode(w);
     }
 }
 
@@ -286,6 +365,7 @@ impl Decode for FaultPlane {
                 .into_iter()
                 .collect(),
             partitions: Vec::<Partition>::decode(r)?,
+            windows: Vec::<PolicyWindow>::decode(r)?,
         })
     }
 }
@@ -410,6 +490,11 @@ mod tests {
         });
         fp.set_link_policy(1, 2, LinkPolicy::IDEAL);
         fp.add_partition([0, 1], SimTime::from_millis(5), SimTime::from_millis(9));
+        fp.add_policy_window(
+            LinkPolicy::loss(0.9),
+            SimTime::from_millis(2),
+            SimTime::from_millis(7),
+        );
         for i in 0..100 {
             fp.judge(i % 8, (i + 1) % 8, T0);
         }
@@ -424,6 +509,214 @@ mod tests {
             .map(|i| back.judge(i % 8, (i + 3) % 8, T0))
             .collect();
         assert_eq!(tail, tail2);
+    }
+
+    #[test]
+    fn zero_length_partition_is_a_noop() {
+        let mut fp = FaultPlane::new(13);
+        let t = SimTime::from_millis(100);
+        fp.add_partition([0, 1], t, t);
+        // Never active — not even at the shared boundary instant.
+        for ms in [99, 100, 101] {
+            assert!(!fp.is_partitioned(0, 2, SimTime::from_millis(ms)));
+            assert_eq!(
+                fp.judge(0, 2, SimTime::from_millis(ms)),
+                Verdict::Deliver {
+                    extra: SimTime::ZERO,
+                    dup_extra: None
+                }
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be inverted")]
+    fn inverted_partition_window_panics() {
+        let mut fp = FaultPlane::new(13);
+        fp.add_partition([0], SimTime::from_millis(2), SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn overlapping_partitions_drop_if_any_cut_separates() {
+        let mut fp = FaultPlane::new(17);
+        // Two overlapping windows with different sides: {0,1} cut during
+        // [100, 300), {1,2} cut during [200, 400).
+        fp.add_partition([0, 1], SimTime::from_millis(100), SimTime::from_millis(300));
+        fp.add_partition([1, 2], SimTime::from_millis(200), SimTime::from_millis(400));
+        let at = SimTime::from_millis;
+        // Only the first cut active: 0-3 separated, 2-3 connected.
+        assert!(fp.is_partitioned(0, 3, at(150)));
+        assert!(!fp.is_partitioned(2, 3, at(150)));
+        // Overlap region: both cuts active. 2-3 now separated by the
+        // second cut even though the first keeps them on the same side,
+        // and 0-1 (same side of the first cut) is split by the second.
+        assert!(fp.is_partitioned(2, 3, at(250)));
+        assert!(fp.is_partitioned(0, 1, at(250)));
+        assert!(fp.is_partitioned(0, 3, at(250)));
+        // First window healed, second still cutting.
+        assert!(!fp.is_partitioned(0, 3, at(350)));
+        assert!(fp.is_partitioned(1, 3, at(350)));
+        // Both healed.
+        assert!(!fp.is_partitioned(1, 3, at(400)));
+        assert!(!fp.is_partitioned(2, 3, at(400)));
+    }
+
+    #[test]
+    fn partition_boundaries_are_half_open() {
+        let mut fp = FaultPlane::new(19);
+        fp.add_partition([0], SimTime::from_millis(100), SimTime::from_millis(200));
+        assert!(!fp.is_partitioned(0, 1, SimTime::from_millis(99)));
+        assert!(
+            fp.is_partitioned(0, 1, SimTime::from_millis(100)),
+            "inclusive at from"
+        );
+        assert!(fp.is_partitioned(0, 1, SimTime::from_millis(199)));
+        assert!(
+            !fp.is_partitioned(0, 1, SimTime::from_millis(200)),
+            "exclusive at until"
+        );
+    }
+
+    #[test]
+    fn policy_window_applies_only_inside_half_open_window() {
+        let mut fp = FaultPlane::new(23);
+        fp.add_policy_window(
+            LinkPolicy::loss(1.0),
+            SimTime::from_millis(100),
+            SimTime::from_millis(200),
+        );
+        let before = fp.rng.clone();
+        // Outside the window the plane is ideal and draws nothing —
+        // including at the exclusive `until` tick.
+        for ms in [0, 99, 200, 500] {
+            assert_eq!(
+                fp.judge(0, 1, SimTime::from_millis(ms)),
+                Verdict::Deliver {
+                    extra: SimTime::ZERO,
+                    dup_extra: None
+                }
+            );
+        }
+        assert_eq!(
+            fp.rng, before,
+            "inactive window must not consume randomness"
+        );
+        // Inside — including the inclusive `from` tick — the override rules.
+        for ms in [100, 150, 199] {
+            assert_eq!(fp.judge(0, 1, SimTime::from_millis(ms)), Verdict::DropLoss);
+        }
+    }
+
+    #[test]
+    fn zero_length_policy_window_is_a_noop() {
+        let mut fp = FaultPlane::new(29);
+        let t = SimTime::from_millis(50);
+        fp.add_policy_window(LinkPolicy::loss(1.0), t, t);
+        for ms in [49, 50, 51] {
+            assert_eq!(
+                fp.judge(0, 1, SimTime::from_millis(ms)),
+                Verdict::Deliver {
+                    extra: SimTime::ZERO,
+                    dup_extra: None
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn overlapping_policy_windows_resolve_to_last_added() {
+        let mut fp = FaultPlane::new(31);
+        fp.set_global_policy(LinkPolicy::loss(1.0));
+        fp.add_policy_window(
+            LinkPolicy::IDEAL,
+            SimTime::from_millis(0),
+            SimTime::from_millis(300),
+        );
+        fp.add_policy_window(
+            LinkPolicy {
+                drop_prob: 0.0,
+                dup_prob: 0.0,
+                extra_delay: SimTime::from_millis(7),
+                jitter: SimTime::ZERO,
+            },
+            SimTime::from_millis(100),
+            SimTime::from_millis(200),
+        );
+        // [0, 100): first window overrides the lossy global — ideal.
+        assert_eq!(
+            fp.judge(0, 1, SimTime::from_millis(50)),
+            Verdict::Deliver {
+                extra: SimTime::ZERO,
+                dup_extra: None
+            }
+        );
+        // [100, 200): both active, the later-added delay window wins.
+        assert_eq!(
+            fp.judge(0, 1, SimTime::from_millis(150)),
+            Verdict::Deliver {
+                extra: SimTime::from_millis(7),
+                dup_extra: None
+            }
+        );
+        // [200, 300): back to the first window.
+        assert_eq!(
+            fp.judge(0, 1, SimTime::from_millis(250)),
+            Verdict::Deliver {
+                extra: SimTime::ZERO,
+                dup_extra: None
+            }
+        );
+        // [300, ...): the steady-state global policy resumes.
+        assert_eq!(fp.judge(0, 1, SimTime::from_millis(300)), Verdict::DropLoss);
+    }
+
+    #[test]
+    fn per_link_policy_still_overrides_active_window() {
+        let mut fp = FaultPlane::new(37);
+        fp.set_link_policy(2, 3, LinkPolicy::IDEAL);
+        fp.add_policy_window(LinkPolicy::loss(1.0), SimTime::ZERO, SimTime::from_secs(10));
+        assert_eq!(fp.judge(0, 1, SimTime::from_secs(1)), Verdict::DropLoss);
+        assert_eq!(
+            fp.judge(2, 3, SimTime::from_secs(1)),
+            Verdict::Deliver {
+                extra: SimTime::ZERO,
+                dup_extra: None
+            }
+        );
+    }
+
+    #[test]
+    fn window_jitter_draws_only_inside_window_even_at_tick_boundaries() {
+        let jittery = LinkPolicy {
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            extra_delay: SimTime::from_millis(5),
+            jitter: SimTime::from_millis(10),
+        };
+        let mut fp = FaultPlane::new(41);
+        fp.add_policy_window(
+            jittery,
+            SimTime::from_millis(100),
+            SimTime::from_millis(200),
+        );
+        // Judging at `until` and beyond draws nothing, so a run that only
+        // touches the boundary stays byte-identical to a windowless one.
+        let before = fp.rng.clone();
+        fp.judge(0, 1, SimTime::from_millis(200));
+        fp.judge(0, 1, SimTime::from_millis(99));
+        assert_eq!(fp.rng, before);
+        // At exactly `from` (and up to the last covered tick) the jitter
+        // draw happens and stays within [extra_delay, extra_delay+jitter).
+        for ms in [100, 199] {
+            match fp.judge(0, 1, SimTime::from_millis(ms)) {
+                Verdict::Deliver { extra, .. } => {
+                    assert!(extra >= SimTime::from_millis(5));
+                    assert!(extra < SimTime::from_millis(15));
+                }
+                v => panic!("unexpected {v:?}"),
+            }
+        }
+        assert_ne!(fp.rng, before, "active window must consume randomness");
     }
 
     #[test]

@@ -111,10 +111,34 @@ impl WorkloadGen {
         Subscription::new(Rect::new(lo, hi))
     }
 
+    /// Shifts every attribute's data hotspot by `delta` (a fraction of
+    /// the domain, wrapping around) — the "viral topic" jump of a flash
+    /// crowd: the popular region of the content space moves, and every
+    /// value drawn afterwards clusters around the new hotspot. Draws no
+    /// randomness, so two generators shifted at the same point in their
+    /// streams stay in lockstep.
+    pub fn shift_hotspot(&mut self, delta: f64) {
+        for a in &mut self.spec.attrs {
+            a.data_hotspot = (a.data_hotspot + delta).rem_euclid(1.0);
+        }
+    }
+
     /// Draws an exponential inter-arrival gap.
     pub fn interarrival(&mut self) -> SimTime {
         let secs = self.exp.sample(&mut self.rng);
         SimTime::from_micros((secs * 1e6).round().max(1.0) as u64)
+    }
+
+    /// Draws an inter-arrival gap stretched by `scale` (`1.0` = the
+    /// spec's native rate; larger is slower). Feed it a
+    /// [`crate::waves::DiurnalRate`] multiplier to shape a diurnal
+    /// stream; the underlying exponential draw is the same as
+    /// [`WorkloadGen::interarrival`]'s, so the scaled and unscaled
+    /// streams consume identical randomness.
+    pub fn scaled_interarrival(&mut self, scale: f64) -> SimTime {
+        assert!(scale > 0.0, "interarrival scale must be positive");
+        let base = self.interarrival();
+        SimTime::from_micros(((base.0 as f64) * scale).round().max(1.0) as u64)
     }
 
     /// Draws a uniformly random node index (the paper publishes each event
@@ -200,6 +224,58 @@ mod tests {
             assert_eq!(s.rect.hi[2], 10_000.0);
             assert!(s.rect.hi[1] - s.rect.lo[1] < 10_000.0);
         }
+    }
+
+    #[test]
+    fn shifted_hotspot_moves_the_cluster() {
+        let mut g = gen();
+        g.shift_hotspot(0.4);
+        let a0 = g.spec.attrs[0].clone();
+        assert!((a0.data_hotspot - 0.5).abs() < 1e-12, "0.10 + 0.4");
+        let hotspot = a0.min + a0.data_hotspot * (a0.max - a0.min);
+        let near = (0..10_000)
+            .filter(|_| {
+                let v = g.event_point().0[0];
+                let frac = (v - hotspot).rem_euclid(a0.max - a0.min) / (a0.max - a0.min);
+                frac < 0.1
+            })
+            .count();
+        assert!(
+            near > 10_000 / 5,
+            "values must cluster at the shifted hotspot, got {near}/10000"
+        );
+    }
+
+    #[test]
+    fn hotspot_shift_wraps_and_draws_no_randomness() {
+        let mut a = gen();
+        let mut b = gen();
+        // Identical shifts keep the two random streams in lockstep: the
+        // shift itself consumes no randomness.
+        a.shift_hotspot(0.3);
+        b.shift_hotspot(0.3);
+        for _ in 0..50 {
+            assert_eq!(a.event_point(), b.event_point());
+            assert_eq!(a.subscription().rect, b.subscription().rect);
+        }
+        // Negative shifts wrap instead of going out of range.
+        a.shift_hotspot(-0.55);
+        for at in &a.spec.attrs {
+            assert!((0.0..1.0).contains(&at.data_hotspot));
+        }
+        assert!(
+            (a.spec.attrs[0].data_hotspot - 0.85).abs() < 1e-12,
+            "0.10+0.3-0.55 wraps"
+        );
+    }
+
+    #[test]
+    fn scaled_interarrival_stretches_the_mean() {
+        let mut g = gen();
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| g.scaled_interarrival(3.0).as_micros()).sum();
+        let mean_ms = total as f64 / n as f64 / 1000.0;
+        assert!((270.0..330.0).contains(&mean_ms), "mean {mean_ms} ms");
     }
 
     #[test]

@@ -16,8 +16,10 @@
 
 pub mod gen;
 pub mod spec;
+pub mod waves;
 pub mod zipf;
 
 pub use gen::WorkloadGen;
 pub use spec::{AttributeSpec, WorkloadSpec};
+pub use waves::{join_leave_waves, ChurnPlan, DiurnalRate, WaveAction, WaveKind};
 pub use zipf::ZipfSampler;

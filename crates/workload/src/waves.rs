@@ -1,0 +1,339 @@
+//! Time-varying workload modulation: diurnal rate curves, mass
+//! join/leave waves, and sustained-churn plans.
+//!
+//! Everything here is a *plan*, not an executor: plans are pure
+//! functions of their construction parameters (plus a seed), and emit
+//! [`WaveAction`]s the caller applies to a network (`fail`/`revive`).
+//! That keeps them deterministic, snapshot-friendly (a plan can be
+//! rebuilt and fast-forwarded to any point in time), and independent of
+//! the simulator's random stream.
+
+use hypersub_simnet::SimTime;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// A deterministic diurnal load curve: a triangle wave over `period`
+/// with the peak at mid-period. (A triangle instead of a sinusoid keeps
+/// the curve exactly reproducible across platforms — no `libm` calls.)
+#[derive(Debug, Clone, Copy)]
+pub struct DiurnalRate {
+    /// Length of one day.
+    pub period: SimTime,
+    /// Interarrival stretch factor at the trough (`>= 1`); the peak is
+    /// always `1.0` (the generator's native rate).
+    pub trough_scale: f64,
+}
+
+impl DiurnalRate {
+    /// The interarrival multiplier at `now`: `1.0` at the peak
+    /// (mid-period), `trough_scale` at the trough (period boundaries),
+    /// linear in between. Multiply generator gaps by this.
+    pub fn scale_at(&self, now: SimTime) -> f64 {
+        assert!(
+            self.period > SimTime::ZERO,
+            "diurnal period must be positive"
+        );
+        assert!(
+            self.trough_scale >= 1.0,
+            "trough must not be faster than peak"
+        );
+        let phase = (now.0 % self.period.0) as f64 / self.period.0 as f64;
+        // 0 at the boundaries, 1 at mid-period.
+        let tri = 1.0 - (2.0 * phase - 1.0).abs();
+        self.trough_scale + (1.0 - self.trough_scale) * tri
+    }
+}
+
+/// Whether a node leaves (fail-stop) or rejoins (revive) the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaveKind {
+    /// The node fails at the stamped time.
+    Leave,
+    /// The node revives at the stamped time.
+    Join,
+}
+
+/// One scheduled membership change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaveAction {
+    /// When the change happens.
+    pub at: SimTime,
+    /// The node affected.
+    pub node: usize,
+    /// Leave or join.
+    pub kind: WaveKind,
+}
+
+/// Plans `waves` mass join/leave waves over `eligible` nodes: every
+/// `period` starting at `first`, `wave_size` distinct nodes (drawn
+/// without replacement from a stream seeded by `seed`) leave together
+/// and rejoin `downtime` later. Waves must not overlap
+/// (`downtime <= period`) so each wave draws from a fully rejoined
+/// pool. The returned actions are sorted by time.
+pub fn join_leave_waves(
+    eligible: &[usize],
+    waves: usize,
+    wave_size: usize,
+    first: SimTime,
+    period: SimTime,
+    downtime: SimTime,
+    seed: u64,
+) -> Vec<WaveAction> {
+    assert!(wave_size <= eligible.len(), "wave larger than the pool");
+    assert!(downtime <= period, "waves must not overlap");
+    assert!(downtime > SimTime::ZERO, "a wave must have downtime");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x57a7_e50f_0ae5_1d3a);
+    let mut actions = Vec::with_capacity(waves * wave_size * 2);
+    let mut pool: Vec<usize> = eligible.to_vec();
+    for w in 0..waves {
+        let start = SimTime(first.0 + period.0 * w as u64);
+        // Partial Fisher-Yates: the first `wave_size` entries after the
+        // loop are this wave's members.
+        for i in 0..wave_size {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        for &node in &pool[..wave_size] {
+            actions.push(WaveAction {
+                at: start,
+                node,
+                kind: WaveKind::Leave,
+            });
+            actions.push(WaveAction {
+                at: start + downtime,
+                node,
+                kind: WaveKind::Join,
+            });
+        }
+    }
+    actions.sort_by_key(|a| (a.at, a.node, a.kind == WaveKind::Join));
+    actions
+}
+
+/// A sustained-churn plan: after `start`, one membership step every
+/// `step`. Each step first ramps the failed set up to `target_down`
+/// nodes, then rotates it — reviving the longest-dead node and failing
+/// a fresh one — so roughly `target_down / eligible.len()` of the pool
+/// is down at any instant, and every node keeps cycling through
+/// failure.
+///
+/// The plan is a pure function of `(eligible, target_down, step, start,
+/// seed)` and the *amount of time consumed*: chunking
+/// [`ChurnPlan::actions_until`] calls differently yields the identical
+/// action stream, so a checkpointed run can rebuild the plan and
+/// fast-forward it to the resume point.
+#[derive(Debug, Clone)]
+pub struct ChurnPlan {
+    eligible: Vec<usize>,
+    target_down: usize,
+    step: SimTime,
+    next: SimTime,
+    rng: SmallRng,
+    down: VecDeque<usize>,
+}
+
+impl ChurnPlan {
+    /// Creates a plan. `target_down` must leave at least one eligible
+    /// node up.
+    pub fn new(
+        eligible: Vec<usize>,
+        target_down: usize,
+        step: SimTime,
+        start: SimTime,
+        seed: u64,
+    ) -> Self {
+        assert!(step > SimTime::ZERO, "churn step must be positive");
+        assert!(
+            target_down < eligible.len(),
+            "churn must leave eligible nodes up"
+        );
+        Self {
+            eligible,
+            target_down,
+            step,
+            next: start,
+            rng: SmallRng::seed_from_u64(seed ^ 0xc42b_0411_5042_11fe),
+            down: VecDeque::new(),
+        }
+    }
+
+    /// Nodes currently failed under this plan.
+    pub fn down(&self) -> impl Iterator<Item = usize> + '_ {
+        self.down.iter().copied()
+    }
+
+    /// Advances the plan to `until` (exclusive) and returns the actions
+    /// in between, in order. Apply each as `fail` (Leave) or `revive`
+    /// (Join) at its stamped time.
+    pub fn actions_until(&mut self, until: SimTime) -> Vec<WaveAction> {
+        let mut actions = Vec::new();
+        while self.next < until {
+            let at = self.next;
+            self.next += self.step;
+            if self.down.len() >= self.target_down {
+                let node = self.down.pop_front().expect("nonempty at target");
+                actions.push(WaveAction {
+                    at,
+                    node,
+                    kind: WaveKind::Join,
+                });
+            }
+            let ups: Vec<usize> = self
+                .eligible
+                .iter()
+                .copied()
+                .filter(|n| !self.down.contains(n))
+                .collect();
+            let victim = ups[self.rng.gen_range(0..ups.len())];
+            self.down.push_back(victim);
+            actions.push(WaveAction {
+                at,
+                node: victim,
+                kind: WaveKind::Leave,
+            });
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diurnal_scale_peaks_at_mid_period_and_wraps() {
+        let d = DiurnalRate {
+            period: SimTime::from_secs(100),
+            trough_scale: 4.0,
+        };
+        assert_eq!(d.scale_at(SimTime::ZERO), 4.0);
+        assert_eq!(d.scale_at(SimTime::from_secs(50)), 1.0);
+        assert_eq!(d.scale_at(SimTime::from_secs(100)), 4.0, "wraps");
+        let q = d.scale_at(SimTime::from_secs(25));
+        assert!((q - 2.5).abs() < 1e-9, "linear ramp, got {q}");
+        // Monotone down on the second half-day.
+        let a = d.scale_at(SimTime::from_secs(60));
+        let b = d.scale_at(SimTime::from_secs(80));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn waves_pair_each_leave_with_a_later_join() {
+        let eligible: Vec<usize> = (8..32).collect();
+        let acts = join_leave_waves(
+            &eligible,
+            3,
+            6,
+            SimTime::from_secs(10),
+            SimTime::from_secs(50),
+            SimTime::from_secs(20),
+            99,
+        );
+        assert_eq!(acts.len(), 3 * 6 * 2);
+        assert!(acts.windows(2).all(|w| w[0].at <= w[1].at), "sorted");
+        for w in 0..3 {
+            let start = SimTime::from_secs(10 + 50 * w);
+            let leaves: Vec<usize> = acts
+                .iter()
+                .filter(|a| a.at == start && a.kind == WaveKind::Leave)
+                .map(|a| a.node)
+                .collect();
+            assert_eq!(leaves.len(), 6, "wave {w} size");
+            for n in &leaves {
+                assert!(eligible.contains(n));
+                assert!(acts.iter().any(|a| a.kind == WaveKind::Join
+                    && a.node == *n
+                    && a.at == start + SimTime::from_secs(20)));
+            }
+            // Distinct members within a wave.
+            let mut sorted = leaves.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 6);
+        }
+    }
+
+    #[test]
+    fn waves_are_seed_deterministic() {
+        let eligible: Vec<usize> = (0..20).collect();
+        let run = |seed| {
+            join_leave_waves(
+                &eligible,
+                4,
+                5,
+                SimTime::from_secs(5),
+                SimTime::from_secs(30),
+                SimTime::from_secs(30),
+                seed,
+            )
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn churn_plan_ramps_to_target_then_rotates() {
+        let mut plan = ChurnPlan::new(
+            (8..24).collect(),
+            5,
+            SimTime::from_secs(2),
+            SimTime::from_secs(10),
+            3,
+        );
+        // Ramp: the first 5 steps only fail.
+        let ramp = plan.actions_until(SimTime::from_secs(20));
+        assert_eq!(ramp.len(), 5);
+        assert!(ramp.iter().all(|a| a.kind == WaveKind::Leave));
+        assert_eq!(plan.down().count(), 5);
+        // Steady state: every step revives the oldest and fails a fresh
+        // node, holding the failed set at the target.
+        let steady = plan.actions_until(SimTime::from_secs(40));
+        assert_eq!(steady.len(), 20, "10 steps x (join + leave)");
+        assert_eq!(plan.down().count(), 5);
+        let joins = steady.iter().filter(|a| a.kind == WaveKind::Join).count();
+        assert_eq!(joins, 10);
+        // The rotation revives strictly in failure order.
+        assert_eq!(steady[0].kind, WaveKind::Join);
+        assert_eq!(steady[0].node, ramp[0].node);
+    }
+
+    #[test]
+    fn churn_plan_is_chunking_independent() {
+        let make = || {
+            ChurnPlan::new(
+                (0..16).collect(),
+                5,
+                SimTime::from_secs(1),
+                SimTime::ZERO,
+                42,
+            )
+        };
+        let mut one = make();
+        let whole = one.actions_until(SimTime::from_secs(60));
+        let mut two = make();
+        let mut chunked = Vec::new();
+        for t in [7u64, 13, 13, 41, 60] {
+            chunked.extend(two.actions_until(SimTime::from_secs(t)));
+        }
+        assert_eq!(whole, chunked);
+        assert_eq!(
+            one.down().collect::<Vec<_>>(),
+            two.down().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn churn_plan_never_fails_a_dead_node_or_empties_the_pool() {
+        let eligible: Vec<usize> = (0..10).collect();
+        let mut plan = ChurnPlan::new(eligible.clone(), 3, SimTime::from_secs(1), SimTime::ZERO, 5);
+        let mut down = std::collections::HashSet::new();
+        for a in plan.actions_until(SimTime::from_secs(200)) {
+            match a.kind {
+                WaveKind::Leave => assert!(down.insert(a.node), "double fail of {}", a.node),
+                WaveKind::Join => assert!(down.remove(&a.node), "revive of live {}", a.node),
+            }
+            assert!(down.len() <= 3);
+        }
+    }
+}

@@ -279,3 +279,39 @@ proptest! {
         prop_assert!(rec_on > 0, "a real workload must record something");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 4, // each case runs one adversity scenario twice, end to end
+        .. ProptestConfig::default()
+    })]
+
+    /// Scenario runs are a pure function of (scenario, seed, tier,
+    /// defense): re-running the same configuration reproduces the digest
+    /// and every verdict bit for bit, whatever the seed — the property
+    /// CI's stamp-and-resume machinery and the golden outcome files both
+    /// stand on. (The invariants need not *pass* at arbitrary seeds;
+    /// they must merely be the same both times.)
+    #[test]
+    fn prop_scenario_runs_are_deterministic(
+        which in 0usize..hypersub_scenario::Scenario::ALL.len(),
+        seed in 0u64..1000,
+        defense in any::<bool>(),
+    ) {
+        use hypersub_scenario::{RunConfig, Scenario};
+        let scenario = Scenario::ALL[which];
+        let cfg = if defense {
+            RunConfig::quick(seed)
+        } else {
+            RunConfig::quick(seed).without_defense()
+        };
+        let a = scenario.run(&cfg).expect("first run");
+        let b = scenario.run(&cfg).expect("second run");
+        prop_assert_eq!(a.digest, b.digest, "digest must be seed-deterministic");
+        prop_assert_eq!(a.verdicts, b.verdicts, "verdicts must be seed-deterministic");
+        prop_assert_eq!(
+            (a.steps, a.published, a.expected, a.delivered, a.duplicates),
+            (b.steps, b.published, b.expected, b.delivered, b.duplicates)
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Acceptance tests for the adversity scenario pack.
+//!
+//! Two contracts, proven for every scenario in the pack:
+//!
+//! 1. **The pack passes.** Under the fixed CI seed, every scenario's
+//!    invariants hold with its defense enabled — the schedules are
+//!    calibrated so the defenses actually close the loss windows they
+//!    claim to close.
+//! 2. **The harness is falsifiable.** Re-running the *same* schedule
+//!    with the defense disabled must flip the scenario's designated
+//!    invariant to failed. A harness whose checks cannot fail proves
+//!    nothing; this pins that each verdict really measures its defense.
+//!
+//! Plus the churn soak's segmentation contract: driving the segments
+//! one at a time through checkpoint bytes — as CI does across separate
+//! invocations — must reproduce the uninterrupted run bit-for-bit.
+
+use hypersub_scenario::{soak_segment, soak_segment_count, RunConfig, Scenario, SoakStep};
+
+/// The seed CI pins (`run_experiments.sh`, the scenario-smoke job).
+const SEED: u64 = 7;
+
+#[test]
+fn pack_passes_with_defenses_enabled() {
+    for s in Scenario::ALL {
+        let out = s.run(&RunConfig::quick(SEED)).expect("scenario run");
+        assert!(
+            out.passed(),
+            "{} failed with defense on:\n{}",
+            s.name(),
+            out.to_json()
+        );
+        assert!(out.published > 0, "{} published nothing", s.name());
+        assert!(out.expected > 0, "{} had no matching pairs", s.name());
+    }
+}
+
+#[test]
+fn disabling_the_defense_flips_the_designated_invariant() {
+    for s in Scenario::ALL {
+        let out = s
+            .run(&RunConfig::quick(SEED).without_defense())
+            .expect("scenario run");
+        let name = s.designated_invariant();
+        let verdict = out
+            .verdict(name)
+            .unwrap_or_else(|| panic!("{} never evaluated {name}", s.name()));
+        assert!(
+            !verdict.passed,
+            "{}: {name} still passed without its defense ({}) — the invariant \
+             does not measure what it claims",
+            s.name(),
+            verdict.details
+        );
+        assert!(!out.passed(), "{} passed overall without defense", s.name());
+    }
+}
+
+#[test]
+fn soak_segments_resume_to_the_uninterrupted_outcome() {
+    let cfg = RunConfig::quick(SEED);
+    let whole = Scenario::ChurnSoak.run(&cfg).expect("uninterrupted run");
+
+    // Drive the segments the way CI does: each invocation sees only the
+    // previous segment's checkpoint bytes.
+    let mut checkpoint: Option<Vec<u8>> = None;
+    let mut stepped = None;
+    for segment in 0..soak_segment_count(cfg.tier) {
+        match soak_segment(&cfg, segment, checkpoint.as_deref()).expect("segment") {
+            SoakStep::Checkpoint(bytes) => {
+                assert!(!bytes.is_empty(), "segment {segment} produced empty bytes");
+                checkpoint = Some(bytes);
+            }
+            SoakStep::Done(outcome) => stepped = Some(*outcome),
+        }
+    }
+    let stepped = stepped.expect("final segment evaluates");
+    assert_eq!(stepped.digest, whole.digest, "segmented digest diverged");
+    assert_eq!(stepped.verdicts, whole.verdicts);
+    assert_eq!(
+        (stepped.delivered, stepped.expected, stepped.steps),
+        (whole.delivered, whole.expected, whole.steps)
+    );
+}

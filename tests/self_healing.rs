@@ -159,3 +159,72 @@ fn revived_node_rejoins_and_resumes_ownership() {
         );
     }
 }
+
+/// Lease-tick scrubbing: rolling churn moves zone ownership around the
+/// ring over and over, and every move used to strand repositories on
+/// their previous owner — which `rebuild_chains` kept re-pushing and
+/// replication kept copying onward, so total state *compounded* with
+/// every ownership change (the churn-soak scenario found this: segment
+/// snapshots grew 16 MB -> 887 MB in five segments). With scrubbing, a
+/// calm network holds only repositories their holders actually own, and
+/// total state stays near the steady-state baseline.
+#[test]
+fn lease_ticks_scrub_repositories_the_ring_took_away() {
+    let total_repos = |net: &Network| -> (usize, usize) {
+        let repos = net.nodes().iter().map(|n| n.repos.len()).sum();
+        let entries = net
+            .nodes()
+            .iter()
+            .map(|n| n.repos.values().map(|r| r.entries.len()).sum::<usize>())
+            .sum();
+        (repos, entries)
+    };
+
+    let mut net = test_network(NODES, 2026, SystemConfig::default().with_self_healing());
+    net.enable_maintenance();
+    for node in 0..8 {
+        let lo = (node * 9) as f64;
+        net.subscribe(
+            node,
+            0,
+            Subscription::new(Rect::new(vec![lo, 0.0], vec![lo + 28.0, 100.0])),
+        );
+    }
+    net.run_until(net.time() + SimTime::from_secs(10));
+    let (base_repos, base_entries) = total_repos(&net);
+    assert!(base_repos > 0, "steady state must hold rendezvous state");
+
+    // Rolling churn: one non-subscriber at a time leaves and rejoins, so
+    // zone ownership keeps sloshing between ring neighbors.
+    let mut rng = SmallRng::seed_from_u64(77);
+    for _ in 0..10 {
+        let v = rng.gen_range(8..NODES);
+        net.fail(v).unwrap();
+        net.run_until(net.time() + SimTime::from_secs(6));
+        net.revive(v).unwrap();
+        net.run_until(net.time() + SimTime::from_secs(6));
+    }
+    // Calm: several lease periods for ownership, chains, and scrubbing
+    // to settle.
+    net.run_until(net.time() + SimTime::from_secs(60));
+
+    // Every surviving repository is owned by its holder.
+    for (i, n) in net.nodes().iter().enumerate() {
+        for &(scheme, ss, zone) in n.repos.keys() {
+            let rotation = n.registry.scheme(scheme).subschemes[ss as usize].rotation;
+            let key = hypersub_lph::rotation::rotate_key(zone.key(&n.cfg.zone), rotation);
+            assert!(
+                n.chord().responsible_for(key),
+                "node {i} still holds a repository for zone {zone:?} (key {key:#x}) \
+                 it is not responsible for"
+            );
+        }
+    }
+    // And total state did not compound with the ownership changes.
+    let (repos, entries) = total_repos(&net);
+    assert!(
+        repos <= base_repos * 3 && entries <= base_entries * 3,
+        "state grew {base_repos}/{base_entries} -> {repos}/{entries} repos/entries \
+         across 10 churn rounds — ownership changes must not accumulate state"
+    );
+}

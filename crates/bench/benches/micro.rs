@@ -6,6 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hypersub_chord::builder::{build_ring, RingConfig};
 use hypersub_chord::routing::route_path;
 use hypersub_core::config::SystemConfig;
+use hypersub_core::index::IndexMode;
 use hypersub_core::model::{Registry, SubId, Subscription};
 use hypersub_core::repo::{StoredSub, ZoneRepo};
 use hypersub_core::sim::Network;
@@ -63,13 +64,19 @@ fn bench_repo_match(c: &mut Criterion) {
         );
     }
     let points: Vec<Point> = (0..256).map(|_| gen.event_point()).collect();
-    let mut i = 0;
-    c.bench_function("repo match_point (1000 entries)", |b| {
-        b.iter(|| {
-            i = (i + 1) % points.len();
-            black_box(repo.match_point(&points[i], &points[i]))
-        })
-    });
+    for mode in [IndexMode::Linear, IndexMode::Grid, IndexMode::Hybrid] {
+        let mut repo = repo.clone();
+        let mut i = 0;
+        c.bench_function(
+            &format!("repo match_point (1000 entries, {})", mode.name()),
+            |b| {
+                b.iter(|| {
+                    i = (i + 1) % points.len();
+                    black_box(repo.match_point(&points[i], &points[i], mode))
+                })
+            },
+        );
+    }
 }
 
 fn bench_routing(c: &mut Criterion) {

@@ -12,7 +12,13 @@
 //! entries measuring the same workload MUST agree on the digest, which
 //! proves an optimization changed only speed, never behavior.
 //!
-//! Usage: `hotpath [--quick] [--label NAME] [--out PATH] [--report PATH]`.
+//! Usage: `hotpath [--quick] [--label NAME] [--out PATH] [--report PATH]
+//! [--index linear|grid|hybrid]`.
+//!
+//! `--index` selects the matching-index structure repositories build
+//! (the index-shape axis; default `hybrid`). Every mode produces the
+//! same digest — only timings, candidate-scan counts and index memory
+//! move.
 //!
 //! `--report PATH` additionally runs the workload with a flight recorder
 //! installed and writes the full run [`Report`](hypersub_core::report)
@@ -31,6 +37,7 @@
 //!   straight-through digest bit-for-bit.
 
 use hypersub_core::config::SystemConfig;
+use hypersub_core::index::{IndexDiag, IndexMode};
 use hypersub_core::model::Registry;
 use hypersub_core::sim::{Network, SnapshotConfig, TopologyKind};
 use hypersub_simnet::SimTime;
@@ -72,21 +79,20 @@ struct RunOutcome {
     sim_events: u64,
     msgs: u64,
     digest: u64,
-    grid_registrations: u64,
-    grid_entries: u64,
+    diag: IndexDiag,
 }
 
 /// Trace window for `--report` runs: big enough to keep the interesting
 /// tail, small enough to stay cheap.
 const REPORT_TRACE_CAPACITY: usize = 1 << 14;
 
-fn run_pinned(p: &Pinned, record: bool) -> (RunOutcome, Network) {
+fn run_pinned(p: &Pinned, record: bool, index: IndexMode) -> (RunOutcome, Network) {
     let spec = WorkloadSpec::paper_table1();
     let registry = Registry::new(vec![spec.scheme_def(0)]);
     let setup_start = Instant::now();
     let mut builder = Network::builder(p.nodes)
         .registry(registry)
-        .config(SystemConfig::default())
+        .config(SystemConfig::default().with_index_mode(index))
         .topology(TopologyKind::KingLike(SimTime::from_millis(180)))
         .seed(p.seed);
     if record {
@@ -115,18 +121,17 @@ fn run_pinned(p: &Pinned, record: bool) -> (RunOutcome, Network) {
     let publish_ms = publish_start.elapsed().as_secs_f64() * 1e3;
     let sim_events = net.steps() - steps_before;
 
-    let (regs, entries) = net.nodes().iter().fold((0u64, 0u64), |(r, e), n| {
-        let (nr, ne) = n.index_stats();
-        (r + nr, e + ne)
-    });
+    let mut diag = IndexDiag::default();
+    for n in net.nodes() {
+        diag.merge(&n.index_diag());
+    }
     let outcome = RunOutcome {
         setup_ms,
         publish_ms,
         sim_events,
         msgs: net.net().total_msgs(),
         digest: net.run_digest(),
-        grid_registrations: regs,
-        grid_entries: entries,
+        diag,
     };
     (outcome, net)
 }
@@ -183,19 +188,21 @@ fn run_resume(bytes: &[u8]) -> Network {
 
 /// One run entry, serialized as a single JSON line so the merge logic
 /// below can treat the file line-by-line without a JSON parser.
-fn entry_json(label: &str, mode: &str, p: &Pinned, o: &RunOutcome) -> String {
+fn entry_json(label: &str, mode: &str, index: IndexMode, p: &Pinned, o: &RunOutcome) -> String {
     let events_per_sec = o.sim_events as f64 / (o.publish_ms / 1e3);
-    let dup = if o.grid_entries == 0 {
+    let dup = if o.diag.entries == 0 {
         0.0
     } else {
-        o.grid_registrations as f64 / o.grid_entries as f64
+        o.diag.registrations as f64 / o.diag.entries as f64
     };
     format!(
-        "    {{ \"label\": \"{label}\", \"mode\": \"{mode}\", \"nodes\": {}, \"subs_per_node\": {}, \
-         \"published_events\": {}, \"seed\": {}, \"setup_ms\": {:.1}, \"publish_ms\": {:.1}, \
-         \"sim_events\": {}, \"events_per_sec\": {:.0}, \"total_msgs\": {}, \
-         \"grid_registrations\": {}, \"grid_indexed_entries\": {}, \"grid_duplication_factor\": {:.2}, \
+        "    {{ \"label\": \"{label}\", \"mode\": \"{mode}\", \"index\": \"{}\", \"nodes\": {}, \
+         \"subs_per_node\": {}, \"published_events\": {}, \"seed\": {}, \"setup_ms\": {:.1}, \
+         \"publish_ms\": {:.1}, \"sim_events\": {}, \"events_per_sec\": {:.0}, \"total_msgs\": {}, \
+         \"index_registrations\": {}, \"index_entries\": {}, \"index_bytes\": {}, \
+         \"covering_collapsed\": {}, \"candidates_scanned\": {}, \"duplication_factor\": {:.2}, \
          \"digest\": \"{:#018x}\" }}",
+        index.name(),
         p.nodes,
         p.subs_per_node,
         p.events,
@@ -205,8 +212,11 @@ fn entry_json(label: &str, mode: &str, p: &Pinned, o: &RunOutcome) -> String {
         o.sim_events,
         events_per_sec,
         o.msgs,
-        o.grid_registrations,
-        o.grid_entries,
+        o.diag.registrations,
+        o.diag.entries,
+        o.diag.bytes,
+        o.diag.covering_collapsed,
+        o.diag.candidates_scanned,
         dup,
         o.digest,
     )
@@ -240,6 +250,11 @@ fn main() {
     let label = flag("--label").unwrap_or_else(|| "run".to_string());
     let out = flag("--out").unwrap_or_else(|| "BENCH_hotpath.json".to_string());
     let report_path = flag("--report");
+    let index = match flag("--index") {
+        Some(s) => IndexMode::parse(&s)
+            .unwrap_or_else(|| panic!("--index takes linear|grid|hybrid, got {s:?}")),
+        None => IndexMode::default(),
+    };
     let mode = if quick { "quick" } else { "full" };
     let p = if quick {
         Pinned::quick()
@@ -288,16 +303,20 @@ fn main() {
     }
 
     eprintln!(
-        "hotpath [{mode}]: {} nodes, {} subs/node, {} events, seed {:#x}",
-        p.nodes, p.subs_per_node, p.events, p.seed
+        "hotpath [{mode}]: {} nodes, {} subs/node, {} events, seed {:#x}, index {}",
+        p.nodes,
+        p.subs_per_node,
+        p.events,
+        p.seed,
+        index.name()
     );
-    let (o, net) = run_pinned(&p, report_path.is_some());
+    let (o, net) = run_pinned(&p, report_path.is_some(), index);
     if let Some(path) = &report_path {
         std::fs::write(path, net.report().to_json()).expect("write run report");
         eprintln!("hotpath [{mode}]: run report written to {path}");
     }
     drop(net);
-    let line = entry_json(&label, mode, &p, &o);
+    let line = entry_json(&label, mode, index, &p, &o);
     eprintln!(
         "hotpath [{mode}] {label}: setup {:.1} ms, publish {:.1} ms, {} sim events \
          ({:.0} events/sec), digest {:#018x}",
@@ -328,26 +347,35 @@ fn main() {
             extract_str(l, "label") == Some(label) && extract_str(l, "mode") == Some("full")
         })
     };
-    let speedup = match (find("baseline"), find("after")) {
-        (Some(b), Some(a)) => {
-            let (Some(bv), Some(av)) = (
-                extract_num(b, "events_per_sec"),
-                extract_num(a, "events_per_sec"),
-            ) else {
-                unreachable!("entries always carry events_per_sec")
-            };
-            let digests_match = extract_str(b, "digest") == extract_str(a, "digest");
-            format!(
-                "{:.2}, \"digests_match\": {digests_match}",
-                av / bv.max(1e-9)
-            )
-        }
-        _ => "null".to_string(),
+    let speedup = |base: &str, new: &str| -> Option<f64> {
+        let (b, a) = (find(base)?, find(new)?);
+        let bv = extract_num(b, "events_per_sec")?;
+        let av = extract_num(a, "events_per_sec")?;
+        Some(av / bv.max(1e-9))
     };
+    // Every full-mode row measures the identical workload, so all their
+    // digests must agree regardless of label or index shape.
+    let full_digests: Vec<&str> = runs
+        .iter()
+        .filter(|l| extract_str(l, "mode") == Some("full"))
+        .filter_map(|l| extract_str(l, "digest"))
+        .collect();
+    let digests_match = full_digests.windows(2).all(|w| w[0] == w[1]);
+    let mut tail = match speedup("baseline", "after") {
+        Some(s) => format!("\"speedup_after_vs_baseline\": {s:.2}"),
+        None => "\"speedup_after_vs_baseline\": null".to_string(),
+    };
+    // The index pair: `index-grid` re-measures the grid structure and
+    // `index` the hybrid on the *same* machine, so their ratio is free
+    // of the cross-machine drift the older baseline/after rows carry.
+    if let Some(s) = speedup("index-grid", "index") {
+        tail.push_str(&format!(", \"speedup_index_vs_grid\": {s:.2}"));
+    }
+    tail.push_str(&format!(", \"digests_match\": {digests_match}"));
     let json = format!(
-        "{{\n  \"bench\": \"hotpath\",\n  \"runs\": [\n{}\n  ],\n  \"speedup_after_vs_baseline\": {}\n}}\n",
+        "{{\n  \"bench\": \"hotpath\",\n  \"runs\": [\n{}\n  ],\n  {}\n}}\n",
         runs.join(",\n"),
-        speedup
+        tail
     );
     std::fs::write(&out, json).expect("write bench output");
     println!("wrote {out}");

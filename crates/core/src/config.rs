@@ -117,6 +117,12 @@ pub struct SystemConfig {
     pub retry: RetryConfig,
     /// Self-healing (replication + leases) settings.
     pub heal: HealConfig,
+    /// Which matching-index structure repositories build (the bench's
+    /// index-shape axis). Performance-only: every mode yields identical
+    /// match sets and run digests. Deliberately *not* snapshot-encoded —
+    /// a restored network reverts to the default mode, which cannot
+    /// change results (see `core::index`).
+    pub index_mode: crate::index::IndexMode,
 }
 
 impl Default for SystemConfig {
@@ -126,6 +132,7 @@ impl Default for SystemConfig {
             lb: LbConfig::default(),
             retry: RetryConfig::default(),
             heal: HealConfig::default(),
+            index_mode: crate::index::IndexMode::default(),
         }
     }
 }
@@ -157,6 +164,12 @@ impl SystemConfig {
     /// replication factor and lease period.
     pub fn with_self_healing(mut self) -> Self {
         self.heal.enabled = true;
+        self
+    }
+
+    /// Selects the matching-index structure (bench index-shape axis).
+    pub fn with_index_mode(mut self, mode: crate::index::IndexMode) -> Self {
+        self.index_mode = mode;
         self
     }
 }
@@ -227,6 +240,10 @@ impl Encode for SystemConfig {
         self.lb.encode(w);
         self.retry.encode(w);
         self.heal.encode(w);
+        // `index_mode` is deliberately not encoded: it selects a
+        // result-neutral cache structure (every mode produces identical
+        // match sets), and keeping it out preserves snapshot-format
+        // byte stability. Restored networks use the default mode.
     }
 }
 
@@ -237,6 +254,7 @@ impl Decode for SystemConfig {
             lb: LbConfig::decode(r)?,
             retry: RetryConfig::decode(r)?,
             heal: HealConfig::decode(r)?,
+            index_mode: crate::index::IndexMode::default(),
         })
     }
 }

@@ -229,7 +229,7 @@ impl HyperSubNode {
                 loop {
                     if let Some(repo) = self.repos.get_mut(&(msg.scheme, msg.ss, z)) {
                         if self.dedup.insert((msg.event.id, repo.iid)) {
-                            let ids = repo.match_point(&msg.event.point, proj);
+                            let ids = repo.match_point(&msg.event.point, proj, self.cfg.index_mode);
                             matched += ids.len() as u64;
                             merge(ids, queue);
                         }
@@ -277,7 +277,10 @@ impl HyperSubNode {
                     }
                     Some(IidTarget::Repo(key)) => {
                         if let Some(repo) = self.repos.get_mut(&key) {
-                            merge(repo.match_point(&msg.event.point, proj), queue);
+                            merge(
+                                repo.match_point(&msg.event.point, proj, self.cfg.index_mode),
+                                queue,
+                            );
                         }
                     }
                     Some(IidTarget::Hosted) => {

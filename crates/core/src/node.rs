@@ -194,14 +194,14 @@ impl HyperSubNode {
         (repo_entries + hosted) as u64
     }
 
-    /// Grid-index diagnostics summed over this node's zone repositories:
-    /// `(cell registrations, indexed entries)` — see
-    /// [`crate::repo::ZoneRepo::index_stats`].
-    pub fn index_stats(&self) -> (u64, u64) {
-        self.repos.values().fold((0, 0), |(r, e), repo| {
-            let (nr, ne) = repo.index_stats();
-            (r + nr, e + ne)
-        })
+    /// Matching-index diagnostics summed over this node's zone
+    /// repositories — see [`crate::repo::ZoneRepo::index_diag`].
+    pub fn index_diag(&self) -> crate::index::IndexDiag {
+        let mut d = crate::index::IndexDiag::default();
+        for repo in self.repos.values() {
+            d.merge(&repo.index_diag());
+        }
+        d
     }
 
     /// The subscription ids of this node's local subscriptions.

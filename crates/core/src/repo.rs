@@ -15,6 +15,7 @@
 //!   points at the parent zone's repository, forming the chain events
 //!   climb during delivery.
 
+use crate::index::{GridIndex, HybridIndex, IndexDiag, IndexMode, INDEX_THRESHOLD};
 use crate::model::{SchemeId, SubId, SubschemeId};
 use hypersub_lph::{Point, Rect, ZoneCode};
 use hypersub_simnet::FxHashMap;
@@ -56,6 +57,14 @@ impl StoredSub {
     }
 }
 
+/// The structure a repository built past the index threshold — chosen by
+/// [`IndexMode`], identical match results either way.
+#[derive(Debug, Clone)]
+enum BuiltIndex {
+    Grid(GridIndex),
+    Hybrid(HybridIndex),
+}
+
 /// A zone repository on a surrogate node.
 #[derive(Debug, Clone)]
 pub struct ZoneRepo {
@@ -70,15 +79,19 @@ pub struct ZoneRepo {
     /// subdivision" dedup of Algorithm 3).
     pub pushed: FxHashMap<ZoneCode, Rect>,
     /// Local matching index (§3.3), built lazily once the repository is
-    /// large. Maintained incrementally: inserts register into the existing
-    /// grid, removals leave stale ids behind (filtered out by the exact
-    /// verification pass), and the grid is rebuilt from scratch only when
-    /// the entry count has drifted more than 25% from the build-time count.
-    index: Option<crate::index::GridIndex>,
+    /// large. Maintained incrementally: inserts register into the
+    /// existing structure, removals unregister (hybrid) or leave stale
+    /// ids behind (grid; filtered out by the exact verification pass),
+    /// and the index is rebuilt from scratch only when the mutation
+    /// count has drifted more than 25% from the build-time entry count.
+    index: Option<BuiltIndex>,
     /// Entry count when `index` was built.
     index_built_at: usize,
     /// Mutations absorbed by `index` since its build.
     index_drift: usize,
+    /// Cumulative candidates examined by indexed `match_point` calls
+    /// (diagnostics; not snapshot state).
+    scanned: u64,
 }
 
 impl ZoneRepo {
@@ -92,30 +105,51 @@ impl ZoneRepo {
             index: None,
             index_built_at: 0,
             index_drift: 0,
+            scanned: 0,
         }
     }
 
-    /// Absorbs one mutation into the live index: drop it once cumulative
-    /// drift exceeds 25% of the build-time size (the next `match_point`
-    /// rebuilds), otherwise register the new rect (inserts only) in place.
-    fn index_absorb(&mut self, added: Option<(SubId, &Rect)>) {
-        if self.index.is_none() {
-            return;
-        }
+    /// Counts one absorbed mutation against the live index and drops it
+    /// once cumulative drift exceeds 25% of the build-time size (the
+    /// next `match_point` rebuilds fresh, folding overflow/stale slots
+    /// back into a tight structure).
+    fn bump_drift(&mut self) {
         self.index_drift += 1;
         if self.index_drift * 4 > self.index_built_at.max(1) {
             self.index = None;
-        } else if let (Some((id, proj)), Some(grid)) = (added, self.index.as_mut()) {
-            grid.register(id, proj);
         }
     }
 
     /// Inserts or updates an entry; returns `true` when the summary filter
     /// grew (meaning subdivisions may need re-pushing).
+    ///
+    /// Re-inserting an id whose projected rect is unchanged (soft-state
+    /// lease refreshes, replica replays) is index-neutral: it neither
+    /// re-registers the entry nor counts as drift — the fix for the
+    /// historical double-registration bug that inflated candidate lists
+    /// and `registrations()` on every refresh.
     pub fn insert(&mut self, id: SubId, sub: StoredSub) -> bool {
         let proj = sub.proj().clone();
-        self.entries.insert(id, sub);
-        self.index_absorb(Some((id, &proj)));
+        let prior = self.entries.insert(id, sub);
+        let same_rect = prior.as_ref().is_some_and(|p| p.proj() == &proj);
+        if !same_rect {
+            if let Some(ix) = self.index.as_mut() {
+                let mutated = match ix {
+                    // The grid cannot unregister, so a changed rect just
+                    // registers the new geometry on top (the old cells
+                    // decay into stale candidates, exactness preserved
+                    // by verification).
+                    BuiltIndex::Grid(g) => {
+                        g.register(id, &proj);
+                        true
+                    }
+                    BuiltIndex::Hybrid(h) => h.insert(id, &proj),
+                };
+                if mutated {
+                    self.bump_drift();
+                }
+            }
+        }
         match &mut self.summary {
             None => {
                 self.summary = Some(proj);
@@ -139,10 +173,18 @@ impl ZoneRepo {
     pub fn remove(&mut self, id: &SubId) -> Option<StoredSub> {
         let removed = self.entries.remove(id);
         if removed.is_some() {
-            // The stale registration stays in the grid; `match_point`
-            // filters candidates through `entries`, so it can only cost a
-            // wasted probe, never a wrong result.
-            self.index_absorb(None);
+            if let Some(ix) = self.index.as_mut() {
+                match ix {
+                    // Stale grid registrations stay behind; `match_point`
+                    // filters candidates through `entries`, so they can
+                    // only cost a wasted probe, never a wrong result.
+                    BuiltIndex::Grid(_) => {}
+                    BuiltIndex::Hybrid(h) => {
+                        h.remove(id);
+                    }
+                }
+                self.bump_drift();
+            }
         }
         removed
     }
@@ -157,26 +199,51 @@ impl ZoneRepo {
     /// All entries matching an event: real entries match against the full
     /// point, surrogates against the projection. Results are sorted by
     /// SubId for deterministic message construction. Large repositories
-    /// consult the grid index (candidates are verified exactly, so the
-    /// index never changes results).
-    pub fn match_point(&mut self, full: &Point, proj: &Point) -> Vec<SubId> {
-        if self.entries.len() >= crate::index::GridIndex::THRESHOLD && self.index.is_none() {
-            self.index =
-                crate::index::GridIndex::build(self.entries.iter().map(|(id, s)| (id, s.proj())));
+    /// consult the index selected by `mode` (candidates are verified
+    /// exactly, so index choice never changes results — the differential
+    /// oracle proptest pins this).
+    pub fn match_point(&mut self, full: &Point, proj: &Point, mode: IndexMode) -> Vec<SubId> {
+        if self.index.is_none()
+            && mode != IndexMode::Linear
+            && self.entries.len() >= INDEX_THRESHOLD
+        {
+            let entries = self.entries.iter().map(|(id, s)| (id, s.proj()));
+            self.index = match mode {
+                IndexMode::Grid => GridIndex::build(entries).map(BuiltIndex::Grid),
+                IndexMode::Hybrid => Some(BuiltIndex::Hybrid(HybridIndex::build(entries))),
+                IndexMode::Linear => unreachable!(),
+            };
             self.index_built_at = self.entries.len();
             self.index_drift = 0;
         }
+        let mut scanned = 0u64;
         let mut out: Vec<SubId> = match &self.index {
-            Some(grid) => grid
-                .candidates(proj)
-                .iter()
-                .filter(|id| {
-                    self.entries
-                        .get(id)
+            Some(BuiltIndex::Grid(grid)) => {
+                let cands = grid.candidates(proj);
+                scanned = cands.len() as u64;
+                cands
+                    .iter()
+                    .filter(|id| {
+                        self.entries
+                            .get(id)
+                            .is_some_and(|s| Self::check_entry(s, full, proj))
+                    })
+                    .copied()
+                    .collect()
+            }
+            Some(BuiltIndex::Hybrid(h)) => {
+                let mut v = Vec::new();
+                let entries = &self.entries;
+                scanned = h.for_candidates(proj, |id| {
+                    if entries
+                        .get(&id)
                         .is_some_and(|s| Self::check_entry(s, full, proj))
-                })
-                .copied()
-                .collect(),
+                    {
+                        v.push(id);
+                    }
+                });
+                v
+            }
             None => self
                 .entries
                 .iter()
@@ -184,9 +251,11 @@ impl ZoneRepo {
                 .map(|(&id, _)| id)
                 .collect(),
         };
+        self.scanned += scanned;
         out.sort_unstable();
-        // Re-inserting an existing id registers it into the grid again, so
-        // the candidate list can repeat ids; results must stay a set.
+        // Index paths can emit an id more than once (a superseded slot
+        // plus its replacement, a stale grid registration plus a fresh
+        // one); results must stay a set.
         out.dedup();
         out
     }
@@ -197,14 +266,28 @@ impl ZoneRepo {
         self.entries.values().filter(|s| s.is_real()).count()
     }
 
-    /// Grid-index diagnostics: `(cell registrations, indexed entries)`,
-    /// both zero when no index is built. Registrations / entries is the
-    /// duplication factor (how many cells the average entry spans).
-    pub fn index_stats(&self) -> (u64, u64) {
+    /// Index diagnostics for this repository: occupancy (zero when no
+    /// index is built) plus the cumulative candidate-scan count.
+    pub fn index_diag(&self) -> IndexDiag {
+        let mut d = IndexDiag {
+            candidates_scanned: self.scanned,
+            ..IndexDiag::default()
+        };
         match &self.index {
-            Some(g) => (g.registrations() as u64, self.entries.len() as u64),
-            None => (0, 0),
+            Some(BuiltIndex::Grid(g)) => {
+                d.entries = self.entries.len() as u64;
+                d.registrations = g.registrations() as u64;
+                d.bytes = g.bytes();
+            }
+            Some(BuiltIndex::Hybrid(h)) => {
+                d.entries = self.entries.len() as u64;
+                d.registrations = h.registrations() as u64;
+                d.bytes = h.bytes();
+                d.covering_collapsed = h.covering_collapsed();
+            }
+            None => {}
         }
+        d
     }
 }
 
@@ -360,9 +443,11 @@ impl Encode for ZoneRepo {
         encode_map_sorted(&self.entries, w);
         self.summary.encode(w);
         encode_map_sorted(&self.pushed, w);
-        // The grid index is a lazily built, observationally neutral cache
-        // (candidates are exactly verified): restored repos start without
-        // one and rebuild on demand, which cannot change match results.
+        // The matching index (grid or hybrid) is a lazily built,
+        // observationally neutral cache (candidates are exactly
+        // verified): restored repos start without one and rebuild on
+        // demand, which cannot change match results. The scan counter is
+        // a diagnostic and likewise resets on restore.
     }
 }
 
@@ -376,6 +461,7 @@ impl Decode for ZoneRepo {
             index: None,
             index_built_at: 0,
             index_drift: 0,
+            scanned: 0,
         })
     }
 }
@@ -465,10 +551,10 @@ mod tests {
         );
         // Full point (0.7, 5.0): real entry fails on dim 1 (5.0 > 1.0),
         // surrogate matches on projection 0.7.
-        let m = r.match_point(&Point(vec![0.7, 5.0]), &Point(vec![0.7]));
+        let m = r.match_point(&Point(vec![0.7, 5.0]), &Point(vec![0.7]), IndexMode::Hybrid);
         assert_eq!(m, vec![sid(2)]);
         // Full point inside both.
-        let m = r.match_point(&Point(vec![0.7, 0.5]), &Point(vec![0.7]));
+        let m = r.match_point(&Point(vec![0.7, 0.5]), &Point(vec![0.7]), IndexMode::Hybrid);
         assert_eq!(m, vec![sid(1), sid(2)]);
     }
 
@@ -487,8 +573,7 @@ mod tests {
         assert_eq!(r.real_count(), 0);
     }
 
-    #[test]
-    fn incremental_index_stays_exact_until_drift_rebuild() {
+    fn drift_rebuild_scenario(mode: IndexMode) {
         let surrogate = |lo: f64| StoredSub::Surrogate {
             proj: Rect::new(vec![lo], vec![lo + 3.0]),
         };
@@ -496,18 +581,24 @@ mod tests {
         for i in 0..80 {
             r.insert(sid(i), surrogate((i as f64 * 1.1) % 50.0));
         }
-        let _ = r.match_point(&Point(vec![10.0]), &Point(vec![10.0]));
-        assert!(r.index_stats().0 > 0, "grid built past the threshold");
+        let _ = r.match_point(&Point(vec![10.0]), &Point(vec![10.0]), mode);
+        assert!(
+            r.index_diag().registrations > 0,
+            "{mode:?}: index built past the threshold"
+        );
 
         // A few inserts (≤25% drift), some beyond the built dim-0 range:
-        // the grid absorbs them in place.
+        // the index absorbs them in place.
         for i in 100..110 {
             r.insert(sid(i), surrogate(40.0 + (i - 100) as f64 * 2.0));
         }
-        assert!(r.index_stats().0 > 0, "index survived small drift");
+        assert!(
+            r.index_diag().registrations > 0,
+            "{mode:?}: index survived small drift"
+        );
         for x in [0.0, 10.0, 45.0, 57.5] {
             let full = Point(vec![x]);
-            let got = r.match_point(&full, &full);
+            let got = r.match_point(&full, &full, mode);
             let mut expect: Vec<SubId> = r
                 .entries
                 .iter()
@@ -515,17 +606,84 @@ mod tests {
                 .map(|(&id, _)| id)
                 .collect();
             expect.sort_unstable();
-            assert_eq!(got, expect, "grid path diverged at x={x}");
+            assert_eq!(got, expect, "{mode:?}: indexed path diverged at x={x}");
         }
 
-        // Enough mutations to exceed 25% of the build-time size: the grid
-        // is dropped and rebuilt fresh on the next query.
+        // Enough mutations to exceed 25% of the build-time size: the
+        // index is dropped and rebuilt fresh on the next query.
         for i in 200..230 {
             r.insert(sid(i), surrogate((i as f64 * 0.7) % 50.0));
         }
-        assert_eq!(r.index_stats().0, 0, "drift threshold dropped the grid");
-        let _ = r.match_point(&Point(vec![10.0]), &Point(vec![10.0]));
-        assert!(r.index_stats().0 > 0, "rebuilt on demand");
+        assert_eq!(
+            r.index_diag().registrations,
+            0,
+            "{mode:?}: drift threshold dropped the index"
+        );
+        let _ = r.match_point(&Point(vec![10.0]), &Point(vec![10.0]), mode);
+        assert!(
+            r.index_diag().registrations > 0,
+            "{mode:?}: rebuilt on demand"
+        );
+    }
+
+    #[test]
+    fn incremental_index_stays_exact_until_drift_rebuild() {
+        drift_rebuild_scenario(IndexMode::Grid);
+        drift_rebuild_scenario(IndexMode::Hybrid);
+    }
+
+    #[test]
+    fn reinsert_same_rect_does_not_reregister() {
+        // Regression test for the historical double-registration bug:
+        // re-inserting an existing id (lease refresh, replica replay)
+        // used to register it into the index again, inflating both the
+        // candidate lists and the registration counter.
+        let surrogate = |lo: f64| StoredSub::Surrogate {
+            proj: Rect::new(vec![lo], vec![lo + 3.0]),
+        };
+        for mode in [IndexMode::Grid, IndexMode::Hybrid] {
+            let mut r = ZoneRepo::new(1);
+            for i in 0..80 {
+                r.insert(sid(i), surrogate(i as f64));
+            }
+            let _ = r.match_point(&Point(vec![10.0]), &Point(vec![10.0]), mode);
+            let before = r.index_diag().registrations;
+            assert!(before > 0, "{mode:?}: index built");
+            // Refresh every entry with its identical rect.
+            for i in 0..80 {
+                r.insert(sid(i), surrogate(i as f64));
+            }
+            assert_eq!(
+                r.index_diag().registrations,
+                before,
+                "{mode:?}: same-rect re-insert must not re-register"
+            );
+            let got = r.match_point(&Point(vec![10.0]), &Point(vec![10.0]), mode);
+            let mut expect: Vec<SubId> = r
+                .entries
+                .iter()
+                .filter(|(_, s)| s.proj().contains_point(&Point(vec![10.0])))
+                .map(|(&id, _)| id)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "{mode:?}: refresh left results exact");
+        }
+    }
+
+    #[test]
+    fn linear_mode_never_builds_an_index() {
+        let mut r = ZoneRepo::new(1);
+        for i in 0..200 {
+            r.insert(
+                sid(i),
+                StoredSub::Surrogate {
+                    proj: Rect::new(vec![i as f64], vec![i as f64 + 1.0]),
+                },
+            );
+        }
+        let _ = r.match_point(&Point(vec![10.5]), &Point(vec![10.5]), IndexMode::Linear);
+        assert_eq!(r.index_diag().registrations, 0);
+        assert_eq!(r.index_diag().bytes, 0);
     }
 
     #[test]

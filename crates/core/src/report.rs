@@ -146,21 +146,42 @@ impl Network {
                 )
             })
             .collect();
-        // Grid-index occupancy, summed over every node's zone repos. The
-        // ratio registrations/entries is the *duplication factor* the
+        // Matching-index occupancy, summed over every node's zone repos.
+        // The ratio registrations/entries is the *duplication factor* the
         // hotpath bench prints; exporting both sides lets `report diff`
-        // guard its drift between pinned runs.
-        let (mut grid_regs, mut grid_entries) =
-            (CounterSummary::default(), CounterSummary::default());
-        for n in self.nodes() {
-            let (regs, entries) = n.index_stats();
-            grid_regs.total += regs;
-            grid_regs.max_node = grid_regs.max_node.max(regs);
-            grid_entries.total += entries;
-            grid_entries.max_node = grid_entries.max_node.max(entries);
+        // guard its drift between pinned runs (and cap it in CI).
+        // `bytes` is resident index memory, `covering_collapsed` the
+        // entries absorbed under a coverer, `candidates_scanned` the
+        // cumulative verification probes indexed queries performed.
+        let mut per_node = Vec::with_capacity(5);
+        for _ in 0..5 {
+            per_node.push(CounterSummary::default());
         }
-        counters.push(("index.grid_registrations".to_string(), grid_regs));
-        counters.push(("index.grid_entries".to_string(), grid_entries));
+        for n in self.nodes() {
+            let d = n.index_diag();
+            for (slot, v) in per_node.iter_mut().zip([
+                d.entries,
+                d.registrations,
+                d.bytes,
+                d.covering_collapsed,
+                d.candidates_scanned,
+            ]) {
+                slot.total += v;
+                slot.max_node = slot.max_node.max(v);
+            }
+        }
+        for (name, summary) in [
+            "index.entries",
+            "index.registrations",
+            "index.bytes",
+            "index.covering_collapsed",
+            "index.candidates_scanned",
+        ]
+        .into_iter()
+        .zip(per_node)
+        {
+            counters.push((name.to_string(), summary));
+        }
         let histograms = proto
             .histograms()
             .iter()

@@ -1,0 +1,209 @@
+//! Differential oracle for the matching index: linear scan, grid, and
+//! the hybrid covering/interval index must produce identical verified
+//! match sets on arbitrary repositories, queries, and mutation
+//! histories — and the network-level index mode must be digest-neutral.
+//!
+//! This is the equivalence proof the index-shape bench axis stands on:
+//! the index only prunes candidates (every survivor is exactly
+//! verified), so swapping structures can move timings and scan counts
+//! but never a delivery.
+
+use hypersub_core::index::IndexMode;
+use hypersub_core::prelude::*;
+use hypersub_core::repo::{StoredSub, ZoneRepo};
+use hypersub_tests::test_network;
+use proptest::prelude::*;
+
+fn sid(n: u64) -> SubId {
+    SubId {
+        nid: n,
+        iid: (n % 3) as u32,
+    }
+}
+
+/// A 2-D rect inside [0, 100]^2 with sides up to 40 wide; occasionally
+/// degenerate (zero width) because `lo == hi` is legal geometry.
+fn arb_rect2() -> impl Strategy<Value = Rect> {
+    (0.0f64..100.0, 0.0f64..100.0, 0.0f64..40.0, 0.0f64..40.0).prop_map(|(x, y, wx, wy)| {
+        Rect::new(vec![x, y], vec![(x + wx).min(100.0), (y + wy).min(100.0)])
+    })
+}
+
+/// One repository mutation: insert/overwrite an id, refresh it with the
+/// identical rect, or remove it. Ids are drawn from a small pool so the
+/// same id is hit repeatedly (re-insert and remove-then-reinsert paths).
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64, Rect, bool),
+    Refresh(u64),
+    Remove(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (0u64..200, arb_rect2(), 0u32..10, any::<bool>()).prop_map(|(id, r, kind, real)| match kind {
+        0 => Op::Remove(id),
+        1 => Op::Refresh(id),
+        _ => Op::Insert(id, r, real),
+    })
+}
+
+fn stored(r: &Rect, real: bool) -> StoredSub {
+    if real {
+        StoredSub::Real {
+            full: r.clone(),
+            proj: r.clone(),
+        }
+    } else {
+        StoredSub::Surrogate { proj: r.clone() }
+    }
+}
+
+/// Applies the same mutation history to one repo per index mode, then
+/// compares `match_point` across all three after every query — matching
+/// through an index must be indistinguishable from the linear scan.
+fn assert_modes_agree(ops: &[Op], queries: &[(f64, f64)], queries_between: bool) {
+    let modes = [IndexMode::Linear, IndexMode::Grid, IndexMode::Hybrid];
+    let mut repos: Vec<ZoneRepo> = (0..modes.len()).map(|_| ZoneRepo::new(1)).collect();
+    let mut last_rect: std::collections::HashMap<u64, (Rect, bool)> = Default::default();
+    for (step, op) in ops.iter().enumerate() {
+        for repo in &mut repos {
+            match op {
+                Op::Insert(id, r, real) => {
+                    repo.insert(sid(*id), stored(r, *real));
+                }
+                Op::Refresh(id) => {
+                    if let Some((r, real)) = last_rect.get(id) {
+                        repo.insert(sid(*id), stored(r, *real));
+                    }
+                }
+                Op::Remove(id) => {
+                    repo.remove(&sid(*id));
+                }
+            }
+        }
+        if let Op::Insert(id, r, real) = op {
+            last_rect.insert(*id, (r.clone(), *real));
+        }
+        // Query mid-history too: indexes are built lazily and mutated
+        // incrementally, so agreement must hold at every drift state,
+        // not just at the end.
+        if queries_between && step % 7 == 0 {
+            let p = Point(vec![(step * 13 % 100) as f64, (step * 31 % 100) as f64]);
+            compare_all(&mut repos, &modes, &p);
+        }
+    }
+    for &(x, y) in queries {
+        compare_all(&mut repos, &modes, &Point(vec![x, y]));
+    }
+}
+
+fn compare_all(repos: &mut [ZoneRepo], modes: &[IndexMode], p: &Point) {
+    let oracle = repos[0].match_point(p, p, modes[0]);
+    for (repo, &mode) in repos.iter_mut().zip(modes).skip(1) {
+        let got = repo.match_point(p, p, mode);
+        assert_eq!(
+            got, oracle,
+            "{mode:?} diverged from linear scan at {:?}",
+            p.0
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// The differential oracle: arbitrary insert/refresh/remove
+    /// histories long enough to cross the build threshold and the drift
+    /// rebuild, queried mid-history and at the end — linear, grid, and
+    /// hybrid agree on every match set.
+    #[test]
+    fn prop_index_modes_are_match_equivalent(
+        ops in prop::collection::vec(arb_op(), 1..260),
+        queries in prop::collection::vec((0.0f64..=100.0, 0.0f64..=100.0), 1..12),
+    ) {
+        assert_modes_agree(&ops, &queries, true);
+    }
+
+    /// Superset-under-mutation: after any history, every entry whose
+    /// rect contains the query point appears in the indexed result (the
+    /// candidate pass may over-approximate but never drops a match).
+    #[test]
+    fn prop_hybrid_candidates_superset_under_mutation(
+        ops in prop::collection::vec(arb_op(), 80..200),
+        queries in prop::collection::vec((0.0f64..=100.0, 0.0f64..=100.0), 1..10),
+    ) {
+        let mut repo = ZoneRepo::new(1);
+        let mut last_rect: std::collections::HashMap<u64, (Rect, bool)> = Default::default();
+        for op in &ops {
+            match op {
+                Op::Insert(id, r, real) => {
+                    repo.insert(sid(*id), stored(r, *real));
+                    last_rect.insert(*id, (r.clone(), *real));
+                }
+                Op::Refresh(id) => {
+                    if let Some((r, real)) = last_rect.get(id) {
+                        repo.insert(sid(*id), stored(r, *real));
+                    }
+                }
+                Op::Remove(id) => {
+                    repo.remove(&sid(*id));
+                }
+            }
+        }
+        for &(x, y) in &queries {
+            let p = Point(vec![x, y]);
+            let got = repo.match_point(&p, &p, IndexMode::Hybrid);
+            let mut expect: Vec<SubId> = repo
+                .entries
+                .iter()
+                .filter(|(_, s)| match s {
+                    StoredSub::Real { full, .. } => full.contains_point(&p),
+                    StoredSub::Surrogate { proj } => proj.contains_point(&p),
+                })
+                .map(|(&id, _)| id)
+                .collect();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect, "hybrid dropped or invented a match");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6, // each case runs three full network simulations
+        .. ProptestConfig::default()
+    })]
+
+    /// Network-level equivalence: the same workload run under every
+    /// index mode produces bit-identical run digests (delivery trace +
+    /// network counters). Subscriptions are dense enough that zone
+    /// repositories cross the build threshold and actually exercise the
+    /// indexed paths.
+    #[test]
+    fn prop_index_mode_is_digest_neutral(
+        rects in prop::collection::vec(arb_rect2(), 60..120),
+        points in prop::collection::vec((0.0f64..=100.0, 0.0f64..=100.0), 2..8),
+        nodes in 6usize..14,
+        seed in 0u64..500,
+    ) {
+        let run = |mode: IndexMode| {
+            let cfg = SystemConfig::default().with_index_mode(mode);
+            let mut net = test_network(nodes, seed, cfg);
+            for (i, r) in rects.iter().enumerate() {
+                net.subscribe(i % nodes, 0, Subscription::new(r.clone()));
+            }
+            net.run_to_quiescence();
+            for (i, &(x, y)) in points.iter().enumerate() {
+                net.publish((i * 7) % nodes, 0, Point(vec![x, y])).unwrap();
+            }
+            net.run_to_quiescence();
+            (net.run_digest(), net.steps())
+        };
+        let linear = run(IndexMode::Linear);
+        prop_assert_eq!(run(IndexMode::Grid), linear, "grid changed the run");
+        prop_assert_eq!(run(IndexMode::Hybrid), linear, "hybrid changed the run");
+    }
+}

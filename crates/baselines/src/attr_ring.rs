@@ -17,7 +17,7 @@ use hypersub_chord::{in_open_closed, ChordState};
 use hypersub_core::model::{Event, SubId, SubTarget, Subscription};
 use hypersub_core::msg::{EVENT_BYTES, HEADER_BYTES, SUBID_BYTES};
 use hypersub_lph::{rotation_offset, ContentSpace};
-use hypersub_simnet::{Ctx, Node, Payload};
+use hypersub_simnet::{Node, NodeRuntime, Payload};
 use std::collections::HashMap;
 
 /// Timer token base for scripted publishes.
@@ -139,9 +139,9 @@ impl AttrRingNode {
     }
 
     /// Installs a subscription from this node.
-    pub fn subscribe(
+    pub fn subscribe<R: NodeRuntime<AttrMsg, BaselineWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, AttrMsg, BaselineWorld>,
+        ctx: &mut R,
         sub: Subscription,
     ) -> SubId {
         let iid = self.next_iid;
@@ -151,7 +151,7 @@ impl AttrRingNode {
             nid: self.chord.id,
             iid,
         };
-        ctx.world.oracle.add(0, subid, sub.clone());
+        ctx.world().oracle.add(0, subid, sub.clone());
         let attr = self.choose_attr(&sub);
         let start = self.value_key(attr, sub.rect.lo[attr]);
         let end = self.value_key(attr, sub.rect.hi[attr]);
@@ -161,9 +161,9 @@ impl AttrRingNode {
 
     /// Walks the subscription's key arc, storing a replica on every
     /// responsible node (the expensive installation §2 criticizes).
-    fn route_register(
+    fn route_register<R: NodeRuntime<AttrMsg, BaselineWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, AttrMsg, BaselineWorld>,
+        ctx: &mut R,
         cursor: u64,
         end: u64,
         attr: u8,
@@ -212,20 +212,21 @@ impl AttrRingNode {
     }
 
     /// Publishes an event: one probe per attribute ring.
-    pub fn publish(&mut self, ctx: &mut Ctx<'_, AttrMsg, BaselineWorld>, event: Event) {
-        let expected = ctx.world.oracle.expected_matches(0, &event.point).len();
-        ctx.world
+    pub fn publish<R: NodeRuntime<AttrMsg, BaselineWorld>>(&mut self, ctx: &mut R, event: Event) {
+        let (me, now) = (ctx.me(), ctx.now());
+        let expected = ctx.world().oracle.expected_matches(0, &event.point).len();
+        ctx.world()
             .metrics
-            .record_publish(event.id, ctx.now, ctx.me, expected);
+            .record_publish(event.id, now, me, expected);
         for attr in 0..self.space.dims() {
             let key = self.value_key(attr, event.point.0[attr]);
             self.route_publish(ctx, key, attr as u8, event.clone(), 0);
         }
     }
 
-    fn route_publish(
+    fn route_publish<R: NodeRuntime<AttrMsg, BaselineWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, AttrMsg, BaselineWorld>,
+        ctx: &mut R,
         key: u64,
         attr: u8,
         event: Event,
@@ -249,9 +250,9 @@ impl AttrRingNode {
         }
     }
 
-    fn match_and_deliver(
+    fn match_and_deliver<R: NodeRuntime<AttrMsg, BaselineWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, AttrMsg, BaselineWorld>,
+        ctx: &mut R,
         attr: u8,
         event: Event,
         hops: u32,
@@ -268,9 +269,9 @@ impl AttrRingNode {
         self.deliver(ctx, event, hops, to_targets(matched));
     }
 
-    fn deliver(
+    fn deliver<R: NodeRuntime<AttrMsg, BaselineWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, AttrMsg, BaselineWorld>,
+        ctx: &mut R,
         event: Event,
         hops: u32,
         targets: Vec<SubTarget>,
@@ -279,10 +280,11 @@ impl AttrRingNode {
         for t in local {
             if let Some(iid) = t.iid {
                 if self.local.contains_key(&iid) {
-                    ctx.world.metrics.record_delivery(
+                    let now = ctx.now();
+                    ctx.world().metrics.record_delivery(
                         event.id,
                         SubId { nid: t.nid, iid },
-                        ctx.now,
+                        now,
                         hops,
                     );
                 }
@@ -308,9 +310,9 @@ impl AttrRingNode {
 }
 
 impl Node<AttrMsg, BaselineWorld> for AttrRingNode {
-    fn on_message(
+    fn on_message<R: NodeRuntime<AttrMsg, BaselineWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, AttrMsg, BaselineWorld>,
+        ctx: &mut R,
         _from: usize,
         msg: AttrMsg,
     ) {
@@ -336,10 +338,10 @@ impl Node<AttrMsg, BaselineWorld> for AttrRingNode {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, AttrMsg, BaselineWorld>, token: u64) {
+    fn on_timer<R: NodeRuntime<AttrMsg, BaselineWorld>>(&mut self, ctx: &mut R, token: u64) {
         if token >= TOKEN_PUBLISH_BASE {
             let idx = (token - TOKEN_PUBLISH_BASE) as usize;
-            let ev = ctx.world.script[idx]
+            let ev = ctx.world().script[idx]
                 .take()
                 .expect("scripted event fired twice");
             self.publish(ctx, ev);

@@ -13,7 +13,7 @@ use hypersub_chord::ChordState;
 use hypersub_core::model::{Event, SubId, SubTarget, Subscription};
 use hypersub_core::msg::{EVENT_BYTES, HEADER_BYTES, SUBID_BYTES};
 use hypersub_lph::rotation_offset;
-use hypersub_simnet::{Ctx, Node, Payload};
+use hypersub_simnet::{Node, NodeRuntime, Payload};
 use std::collections::HashMap;
 
 /// Timer token base for scripted publishes.
@@ -97,9 +97,9 @@ impl RendezvousNode {
     }
 
     /// Installs a subscription from this node.
-    pub fn subscribe(
+    pub fn subscribe<R: NodeRuntime<RdvMsg, BaselineWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, RdvMsg, BaselineWorld>,
+        ctx: &mut R,
         sub: Subscription,
     ) -> SubId {
         let iid = self.next_iid;
@@ -109,14 +109,14 @@ impl RendezvousNode {
             nid: self.chord.id,
             iid,
         };
-        ctx.world.oracle.add(0, subid, sub.clone());
+        ctx.world().oracle.add(0, subid, sub.clone());
         self.route_register(ctx, subid, sub);
         subid
     }
 
-    fn route_register(
+    fn route_register<R: NodeRuntime<RdvMsg, BaselineWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, RdvMsg, BaselineWorld>,
+        ctx: &mut R,
         subid: SubId,
         sub: Subscription,
     ) {
@@ -140,15 +140,21 @@ impl RendezvousNode {
     }
 
     /// Publishes an event from this node.
-    pub fn publish(&mut self, ctx: &mut Ctx<'_, RdvMsg, BaselineWorld>, event: Event) {
-        let expected = ctx.world.oracle.expected_matches(0, &event.point).len();
-        ctx.world
+    pub fn publish<R: NodeRuntime<RdvMsg, BaselineWorld>>(&mut self, ctx: &mut R, event: Event) {
+        let (me, now) = (ctx.me(), ctx.now());
+        let expected = ctx.world().oracle.expected_matches(0, &event.point).len();
+        ctx.world()
             .metrics
-            .record_publish(event.id, ctx.now, ctx.me, expected);
+            .record_publish(event.id, now, me, expected);
         self.route_publish(ctx, event, 0);
     }
 
-    fn route_publish(&mut self, ctx: &mut Ctx<'_, RdvMsg, BaselineWorld>, event: Event, hops: u32) {
+    fn route_publish<R: NodeRuntime<RdvMsg, BaselineWorld>>(
+        &mut self,
+        ctx: &mut R,
+        event: Event,
+        hops: u32,
+    ) {
         if self.chord.responsible_for(self.rdv_key) {
             self.match_and_deliver(ctx, event, hops);
         } else {
@@ -166,9 +172,9 @@ impl RendezvousNode {
         }
     }
 
-    fn match_and_deliver(
+    fn match_and_deliver<R: NodeRuntime<RdvMsg, BaselineWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, RdvMsg, BaselineWorld>,
+        ctx: &mut R,
         event: Event,
         hops: u32,
     ) {
@@ -182,9 +188,9 @@ impl RendezvousNode {
         self.deliver(ctx, event, hops, to_targets(matched));
     }
 
-    fn deliver(
+    fn deliver<R: NodeRuntime<RdvMsg, BaselineWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, RdvMsg, BaselineWorld>,
+        ctx: &mut R,
         event: Event,
         hops: u32,
         targets: Vec<SubTarget>,
@@ -193,10 +199,11 @@ impl RendezvousNode {
         for t in local {
             if let Some(iid) = t.iid {
                 if self.local.contains_key(&iid) {
-                    ctx.world.metrics.record_delivery(
+                    let now = ctx.now();
+                    ctx.world().metrics.record_delivery(
                         event.id,
                         SubId { nid: t.nid, iid },
-                        ctx.now,
+                        now,
                         hops,
                     );
                 }
@@ -221,7 +228,12 @@ impl RendezvousNode {
 }
 
 impl Node<RdvMsg, BaselineWorld> for RendezvousNode {
-    fn on_message(&mut self, ctx: &mut Ctx<'_, RdvMsg, BaselineWorld>, _from: usize, msg: RdvMsg) {
+    fn on_message<R: NodeRuntime<RdvMsg, BaselineWorld>>(
+        &mut self,
+        ctx: &mut R,
+        _from: usize,
+        msg: RdvMsg,
+    ) {
         match msg {
             RdvMsg::Register { subid, sub, .. } => self.route_register(ctx, subid, sub),
             RdvMsg::Publish { event, hops, .. } => self.route_publish(ctx, event, hops),
@@ -233,10 +245,10 @@ impl Node<RdvMsg, BaselineWorld> for RendezvousNode {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, RdvMsg, BaselineWorld>, token: u64) {
+    fn on_timer<R: NodeRuntime<RdvMsg, BaselineWorld>>(&mut self, ctx: &mut R, token: u64) {
         if token >= TOKEN_PUBLISH_BASE {
             let idx = (token - TOKEN_PUBLISH_BASE) as usize;
-            let ev = ctx.world.script[idx]
+            let ev = ctx.world().script[idx]
                 .take()
                 .expect("scripted event fired twice");
             self.publish(ctx, ev);

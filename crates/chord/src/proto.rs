@@ -12,7 +12,7 @@
 use crate::id::{in_open_closed, NodeId};
 use crate::routing::{closest_preceding, next_hop, NextHop};
 use crate::state::{ChordState, Peer, NUM_FINGERS};
-use hypersub_simnet::{Ctx, FxHashSet, Node, Payload, SimTime};
+use hypersub_simnet::{FxHashSet, Node, NodeRuntime, Payload, SimTime};
 use hypersub_snapshot::{Decode, Encode, Error, Reader, Writer};
 
 /// Why a lookup was issued; determines what happens with the answer.
@@ -630,33 +630,38 @@ impl ChordNode {
     }
 
     /// Arms the periodic maintenance timers; call once after creation.
-    pub fn arm_timers<W>(ctx: &mut Ctx<'_, ChordMsg, W>) {
+    pub fn arm_timers<W, R: NodeRuntime<ChordMsg, W>>(ctx: &mut R) {
         ctx.set_timer(STABILIZE_PERIOD, TOKEN_STABILIZE);
         ctx.set_timer(FIX_FINGERS_PERIOD, TOKEN_FIX_FINGERS);
     }
 }
 
 impl Node<ChordMsg, ChordWorld> for ChordNode {
-    fn on_send_failed(
+    fn on_send_failed<R: NodeRuntime<ChordMsg, ChordWorld>>(
         &mut self,
-        _ctx: &mut Ctx<'_, ChordMsg, ChordWorld>,
+        _ctx: &mut R,
         dst: usize,
         _msg: ChordMsg,
     ) {
         self.maint.note_dead(dst);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, ChordMsg, ChordWorld>, from: usize, msg: ChordMsg) {
+    fn on_message<R: NodeRuntime<ChordMsg, ChordWorld>>(
+        &mut self,
+        ctx: &mut R,
+        from: usize,
+        msg: ChordMsg,
+    ) {
         let out = self.maint.handle(from, msg);
         if let Some(done) = out.app_lookup {
-            ctx.world.lookups.push(done);
+            ctx.world().lookups.push(done);
         }
         for (dst, m) in out.sends {
             ctx.send(dst, m);
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, ChordMsg, ChordWorld>, token: u64) {
+    fn on_timer<R: NodeRuntime<ChordMsg, ChordWorld>>(&mut self, ctx: &mut R, token: u64) {
         let sends = match token {
             TOKEN_STABILIZE => {
                 ctx.set_timer(STABILIZE_PERIOD, TOKEN_STABILIZE);

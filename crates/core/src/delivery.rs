@@ -20,7 +20,7 @@ use crate::msg::{DeliveryMsg, HyperMsg};
 use crate::node::{HyperSubNode, IidTarget};
 use crate::world::HyperWorld;
 use hypersub_chord::routing::{next_hop, NextHop};
-use hypersub_simnet::{Ctx, FxHashSet, ProtoEvent};
+use hypersub_simnet::{FxHashSet, NodeRuntime, ProtoEvent};
 use std::sync::Arc;
 
 /// Cap on pooled per-hop target buffers kept by a node between messages.
@@ -45,9 +45,9 @@ pub(crate) struct DeliveryScratch {
 impl HyperSubNode {
     /// Algorithm 4: publish an event from this node. The event id must be
     /// globally unique (it tags the event's bandwidth flow).
-    pub fn publish_event(
+    pub fn publish_event<R: NodeRuntime<HyperMsg, HyperWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        ctx: &mut R,
         scheme_id: SchemeId,
         event: Event,
     ) {
@@ -60,26 +60,27 @@ impl HyperSubNode {
     /// be observationally identical to one driven through
     /// [`Self::publish_event`] — the property tests assert their run
     /// digests match.
-    pub fn publish_event_owned(
+    pub fn publish_event_owned<R: NodeRuntime<HyperMsg, HyperWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        ctx: &mut R,
         scheme_id: SchemeId,
         event: Event,
     ) {
         self.publish_impl(ctx, scheme_id, event, false);
     }
 
-    fn publish_impl(
+    fn publish_impl<R: NodeRuntime<HyperMsg, HyperWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        ctx: &mut R,
         scheme_id: SchemeId,
         event: Event,
         share: bool,
     ) {
-        let expected = ctx.world.oracle.expected_count(scheme_id, &event.point);
-        ctx.world
+        let (me, now) = (ctx.me(), ctx.now());
+        let expected = ctx.world().oracle.expected_count(scheme_id, &event.point);
+        ctx.world()
             .metrics
-            .record_publish(event.id, ctx.now, ctx.me, expected);
+            .record_publish(event.id, now, me, expected);
         let event = Arc::new(event);
         let scheme = self.registry.scheme(scheme_id);
         let n_subschemes = scheme.subschemes.len() as u8;
@@ -106,9 +107,9 @@ impl HyperSubNode {
     }
 
     /// Algorithm 5: process an event message.
-    pub(crate) fn handle_delivery(
+    pub(crate) fn handle_delivery<R: NodeRuntime<HyperMsg, HyperWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        ctx: &mut R,
         mut msg: DeliveryMsg,
     ) {
         // Piggybacked DHT maintenance: the forwarding node is evidently
@@ -159,8 +160,9 @@ impl HyperSubNode {
         // indices are unique keys, so unstable sort is exact).
         groups.sort_unstable_by_key(|&(idx, _)| idx);
         if !groups.is_empty() {
-            let m = &mut ctx.world.metrics.proto;
-            m.delivery_splits.inc(ctx.me);
+            let me = ctx.me();
+            let m = &mut ctx.world().metrics.proto;
+            m.delivery_splits.inc(me);
             m.delivery_fanout.observe(groups.len() as u64);
             ctx.trace(|| ProtoEvent {
                 kind: "delivery.split",
@@ -197,9 +199,9 @@ impl HyperSubNode {
     }
 
     /// Consumes one SubID-list entry this node is responsible for.
-    fn consume_target(
+    fn consume_target<R: NodeRuntime<HyperMsg, HyperWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        ctx: &mut R,
         msg: &DeliveryMsg,
         proj: &hypersub_lph::Point,
         t: SubTarget,
@@ -239,7 +241,8 @@ impl HyperSubNode {
                         None => break,
                     }
                 }
-                ctx.world.metrics.proto.rendezvous_matches.inc(ctx.me);
+                let me = ctx.me();
+                ctx.world().metrics.proto.rendezvous_matches.inc(me);
                 ctx.trace(|| ProtoEvent {
                     kind: "delivery.rendezvous",
                     flow: Some(msg.event.id),
@@ -262,10 +265,11 @@ impl HyperSubNode {
                 match self.iids.get(&iid).copied() {
                     Some(IidTarget::Local) => {
                         // Deliver to the local application/user.
-                        ctx.world.metrics.record_delivery(
+                        let now = ctx.now();
+                        ctx.world().metrics.record_delivery(
                             msg.event.id,
                             SubId { nid: t.nid, iid },
-                            ctx.now,
+                            now,
                             msg.hops,
                         );
                         ctx.trace(|| ProtoEvent {

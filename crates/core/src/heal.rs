@@ -52,7 +52,7 @@ use crate::node::{HyperSubNode, TOKEN_LEASE};
 use crate::repo::{RepoKey, StoredSub};
 use crate::world::HyperWorld;
 use hypersub_chord::Peer;
-use hypersub_simnet::{Ctx, FxHashMap, ProtoEvent};
+use hypersub_simnet::{FxHashMap, NodeRuntime, ProtoEvent};
 use hypersub_snapshot::{Decode, Encode, Error, Reader, Writer};
 
 /// One origin's replicated rendezvous state, held by a successor.
@@ -104,10 +104,11 @@ impl HyperSubNode {
     /// repositories, and sweep replicas for due promotions (anti-entropy:
     /// an ownership change whose chord signal was missed is caught here at
     /// the latest).
-    pub(crate) fn lease_tick(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>) {
+    pub(crate) fn lease_tick<R: NodeRuntime<HyperMsg, HyperWorld>>(&mut self, ctx: &mut R) {
         ctx.set_timer(self.cfg.heal.lease_period, TOKEN_LEASE);
-        ctx.world.metrics.proto.lease_refreshes.inc(ctx.me);
-        let me = ctx.me as u64;
+        let me = ctx.me();
+        ctx.world().metrics.proto.lease_refreshes.inc(me);
+        let me = me as u64;
         ctx.trace(|| ProtoEvent {
             kind: "repair.lease",
             flow: None,
@@ -137,7 +138,7 @@ impl HyperSubNode {
     /// Skipped while the predecessor is unknown (mid-join view):
     /// `responsible_for` then claims only our own id, and scrubbing on
     /// that view would drop everything we legitimately hold.
-    fn scrub_foreign_repos(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>) {
+    fn scrub_foreign_repos<R: NodeRuntime<HyperMsg, HyperWorld>>(&mut self, ctx: &mut R) {
         if self.maint.chord.predecessor.is_none() {
             return;
         }
@@ -173,7 +174,7 @@ impl HyperSubNode {
 
     /// Sends a full snapshot of every owned repository to the replica
     /// targets (replace semantics at the receiver).
-    fn replicate_snapshot(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>) {
+    fn replicate_snapshot<R: NodeRuntime<HyperMsg, HyperWorld>>(&mut self, ctx: &mut R) {
         let targets = self.replica_targets();
         if targets.is_empty() || self.repos.is_empty() {
             return;
@@ -217,9 +218,9 @@ impl HyperSubNode {
 
     /// Incrementally replicates one just-registered entry (merge semantics
     /// at the receiver). No-op when self-healing is off.
-    pub(crate) fn replicate_entry(
+    pub(crate) fn replicate_entry<R: NodeRuntime<HyperMsg, HyperWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        ctx: &mut R,
         key: RepoKey,
         id: SubId,
     ) {
@@ -258,14 +259,14 @@ impl HyperSubNode {
     /// Receiver side of [`HyperMsg::ReplicaUpdate`]: store (replace or
     /// merge) the origin's entries, then check whether the origin's keys
     /// already belong to us (it may have died before this message drained).
-    pub(crate) fn handle_replica(
+    pub(crate) fn handle_replica<R: NodeRuntime<HyperMsg, HyperWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        ctx: &mut R,
         origin: Peer,
         full: bool,
         repos: Vec<ReplicaBatch>,
     ) {
-        if !self.cfg.heal.enabled || origin.idx == ctx.me {
+        if !self.cfg.heal.enabled || origin.idx == ctx.me() {
             return;
         }
         let set = self
@@ -284,7 +285,8 @@ impl HyperSubNode {
                 stored += 1;
             }
         }
-        ctx.world.metrics.proto.replica_entries.add(ctx.me, stored);
+        let me = ctx.me();
+        ctx.world().metrics.proto.replica_entries.add(me, stored);
         ctx.trace(|| ProtoEvent {
             kind: "repair.replicate",
             flow: None,
@@ -300,7 +302,10 @@ impl HyperSubNode {
     /// every other node), so promotion triggers exactly when the origin
     /// died *and* stabilization extended our arc over it — at which point
     /// its entire former arc is ours and all of its entries belong here.
-    pub(crate) fn heal_check_promotions(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>) {
+    pub(crate) fn heal_check_promotions<R: NodeRuntime<HyperMsg, HyperWorld>>(
+        &mut self,
+        ctx: &mut R,
+    ) {
         if !self.cfg.heal.enabled || self.replicas.is_empty() {
             return;
         }
@@ -333,7 +338,8 @@ impl HyperSubNode {
                     promoted += 1;
                 }
             }
-            ctx.world.metrics.proto.promotions.inc(ctx.me);
+            let me = ctx.me();
+            ctx.world().metrics.proto.promotions.inc(me);
             ctx.trace(|| ProtoEvent {
                 kind: "repair.promote",
                 flow: None,
@@ -349,9 +355,9 @@ impl HyperSubNode {
     /// covers, so matching stops producing targets at the dead host. The
     /// subscribers' own leases re-install the real entries here within one
     /// lease period.
-    pub(crate) fn heal_on_peer_dead(
+    pub(crate) fn heal_on_peer_dead<R: NodeRuntime<HyperMsg, HyperWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        ctx: &mut R,
         dst: usize,
     ) {
         if !self.cfg.heal.enabled {
@@ -384,7 +390,8 @@ impl HyperSubNode {
             }
             rehomed += 1;
         }
-        ctx.world.metrics.proto.rehomed_subs.add(ctx.me, rehomed);
+        let me = ctx.me();
+        ctx.world().metrics.proto.rehomed_subs.add(me, rehomed);
         ctx.trace(|| ProtoEvent {
             kind: "repair.rehome",
             flow: None,

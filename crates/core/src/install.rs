@@ -20,14 +20,14 @@ use crate::repo::{RepoKey, StoredSub, ZoneRepo};
 use crate::world::HyperWorld;
 use hypersub_chord::routing::{next_hop, NextHop};
 use hypersub_lph::{lph_rect, rotation::rotate_key, ZoneCode};
-use hypersub_simnet::{Ctx, ProtoEvent};
+use hypersub_simnet::{NodeRuntime, ProtoEvent};
 
 impl HyperSubNode {
     /// Algorithm 2: install a subscription originating at this node.
     /// Returns the new subscription's id.
-    pub fn subscribe(
+    pub fn subscribe<R: NodeRuntime<HyperMsg, HyperWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        ctx: &mut R,
         scheme_id: SchemeId,
         sub: Subscription,
     ) -> SubId {
@@ -37,7 +37,7 @@ impl HyperSubNode {
             iid,
         };
         self.local_subs.insert(iid, (scheme_id, sub.clone()));
-        ctx.world.oracle.add(scheme_id, subid, sub.clone());
+        ctx.world().oracle.add(scheme_id, subid, sub.clone());
         self.install(ctx, scheme_id, sub, iid);
         subid
     }
@@ -45,9 +45,9 @@ impl HyperSubNode {
     /// Routes the registration for one local subscription to its zone's
     /// surrogate node (the network half of Algorithm 2). Idempotent: used
     /// both by fresh subscriptions and by soft-state refresh.
-    fn install(
+    fn install<R: NodeRuntime<HyperMsg, HyperWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        ctx: &mut R,
         scheme_id: SchemeId,
         sub: Subscription,
         iid: u32,
@@ -83,7 +83,11 @@ impl HyperSubNode {
     /// correctness.
     ///
     /// Returns `false` if `iid` does not name a live local subscription.
-    pub fn unsubscribe(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>, iid: u32) -> bool {
+    pub fn unsubscribe<R: NodeRuntime<HyperMsg, HyperWorld>>(
+        &mut self,
+        ctx: &mut R,
+        iid: u32,
+    ) -> bool {
         let Some((scheme_id, sub)) = self.local_subs.remove(&iid) else {
             return false;
         };
@@ -92,7 +96,7 @@ impl HyperSubNode {
             nid: self.maint.chord.id,
             iid,
         };
-        ctx.world.oracle.remove(subid);
+        ctx.world().oracle.remove(subid);
         let scheme = self.registry.scheme(scheme_id);
         let ss = scheme.choose_subscheme(&sub);
         let ssdef = &scheme.subschemes[ss as usize];
@@ -123,7 +127,7 @@ impl HyperSubNode {
     /// surrogate nodes failed (the "reinforcement" such systems rely on —
     /// the paper defers churn handling to the underlying DHT plus
     /// re-registration).
-    pub fn refresh_subscriptions(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>) {
+    pub fn refresh_subscriptions<R: NodeRuntime<HyperMsg, HyperWorld>>(&mut self, ctx: &mut R) {
         // Sorted by internal id: the registration messages this emits must
         // not depend on HashMap iteration order, or same-seed runs with
         // refresh would diverge.
@@ -143,7 +147,7 @@ impl HyperSubNode {
     /// zone keys that belonged to failed nodes now map to their
     /// successors, and surrogate chains through those zones must be
     /// re-established there.
-    pub fn rebuild_chains(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>) {
+    pub fn rebuild_chains<R: NodeRuntime<HyperMsg, HyperWorld>>(&mut self, ctx: &mut R) {
         // Sorted for the same reason as `refresh_subscriptions`: push-down
         // message order must be a function of state, not of hashing.
         let mut keys: Vec<RepoKey> = self.repos.keys().copied().collect();
@@ -160,9 +164,9 @@ impl HyperSubNode {
 
     /// Routes `inner` toward the successor of `key`, handling it locally
     /// when this node is already responsible.
-    pub(crate) fn route_or_local(
+    pub(crate) fn route_or_local<R: NodeRuntime<HyperMsg, HyperWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        ctx: &mut R,
         key: u64,
         inner: Routed,
     ) {
@@ -181,16 +185,16 @@ impl HyperSubNode {
     }
 
     /// Handles an incoming `Route` message: consume or forward greedily.
-    pub(crate) fn handle_route(
+    pub(crate) fn handle_route<R: NodeRuntime<HyperMsg, HyperWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        ctx: &mut R,
         key: u64,
         inner: Routed,
     ) {
         self.route_or_local(ctx, key, inner);
     }
 
-    fn handle_routed(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>, inner: Routed) {
+    fn handle_routed<R: NodeRuntime<HyperMsg, HyperWorld>>(&mut self, ctx: &mut R, inner: Routed) {
         match inner {
             Routed::Register {
                 scheme,
@@ -260,9 +264,9 @@ impl HyperSubNode {
 
     /// Algorithm 3: store an entry in a zone repository and propagate
     /// changed summary subdivisions to child zones.
-    pub(crate) fn register_entry(
+    pub(crate) fn register_entry<R: NodeRuntime<HyperMsg, HyperWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        ctx: &mut R,
         repo_key: RepoKey,
         id: SubId,
         sub: StoredSub,
@@ -274,7 +278,8 @@ impl HyperSubNode {
         let repo = self.repos.get_mut(&repo_key).expect("just inserted");
         let is_new = !repo.entries.contains_key(&id);
         let summary_grew = repo.insert(id, sub);
-        ctx.world.metrics.proto.sub_registers.inc(ctx.me);
+        let me = ctx.me();
+        ctx.world().metrics.proto.sub_registers.inc(me);
         ctx.trace(|| ProtoEvent {
             kind: "sub.register",
             flow: None,
@@ -302,7 +307,7 @@ impl HyperSubNode {
     /// the owner pointing directly at this repository. This computes the
     /// same matched sets as the literal per-zone recursion while visiting
     /// `O(β · levels + node crossings)` zones instead of `O(β^levels)`.
-    fn push_down(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>, repo_key: RepoKey) {
+    fn push_down<R: NodeRuntime<HyperMsg, HyperWorld>>(&mut self, ctx: &mut R, repo_key: RepoKey) {
         let (scheme_id, ss, zone) = repo_key;
         let zone_params = self.cfg.zone;
         if zone.level >= zone_params.max_level() {
@@ -356,11 +361,12 @@ impl HyperSubNode {
         if to_send.is_empty() {
             return;
         }
-        ctx.world
+        let me = ctx.me();
+        ctx.world()
             .metrics
             .proto
             .chain_pushes
-            .add(ctx.me, to_send.len() as u64);
+            .add(me, to_send.len() as u64);
         ctx.trace(|| ProtoEvent {
             kind: "sub.chain_push",
             flow: None,

@@ -139,4 +139,9 @@ pub mod prelude {
     pub use crate::sim::{Network, NetworkBuilder, SnapshotConfig, TopologyKind};
     pub use hypersub_lph::{ContentSpace, Point, Rect, ZoneParams};
     pub use hypersub_simnet::{FaultPlane, FlightRecorder, LinkPolicy, SimTime};
+    // The runtime abstraction: protocol entry points (`subscribe`,
+    // `publish_event`, the `Node` handlers) are generic over any
+    // `NodeRuntime` host — the simulator or `hypersub-net`'s TCP driver —
+    // and `WireMsg` is the versioned framing live transports use.
+    pub use hypersub_simnet::{Node, NodeRuntime, WireMsg};
 }

@@ -20,7 +20,7 @@ use crate::repo::{HostedRepo, RepoKey, StoredSub};
 use crate::world::HyperWorld;
 use hypersub_chord::Peer;
 use hypersub_lph::Rect;
-use hypersub_simnet::{Ctx, ProtoEvent};
+use hypersub_simnet::{NodeRuntime, ProtoEvent};
 use hypersub_snapshot::{Decode, Encode, Error, Reader, Writer};
 use std::collections::{HashMap, HashSet};
 
@@ -68,7 +68,7 @@ impl HyperSubNode {
     /// One load-balancing round: evaluate the previous round's samples
     /// (migrating if overloaded), then probe neighbors afresh. Driven by
     /// the `TOKEN_LB` timer; re-arms itself while enabled.
-    pub(crate) fn lb_tick(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>) {
+    pub(crate) fn lb_tick<R: NodeRuntime<HyperMsg, HyperWorld>>(&mut self, ctx: &mut R) {
         if !self.cfg.lb.enabled {
             return;
         }
@@ -86,9 +86,9 @@ impl HyperSubNode {
 
     /// Answers a probe; forwards it one level deeper when `ttl > 1`
     /// (probing level P_l > 1 samples neighbors' neighbors).
-    pub(crate) fn handle_load_probe(
+    pub(crate) fn handle_load_probe<R: NodeRuntime<HyperMsg, HyperWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        ctx: &mut R,
         origin: Peer,
         ttl: u8,
     ) {
@@ -127,7 +127,7 @@ impl HyperSubNode {
     }
 
     /// The migration decision (§4): overloaded ⇔ `L_N > avg(1+δ)`.
-    fn evaluate_and_migrate(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>) {
+    fn evaluate_and_migrate<R: NodeRuntime<HyperMsg, HyperWorld>>(&mut self, ctx: &mut R) {
         if self.lb.samples.is_empty() {
             return;
         }
@@ -181,9 +181,9 @@ impl HyperSubNode {
     /// per-target share — without the per-target cap the wrap-around arc
     /// `[A_k, N)` covers most of the ring and everything would dump onto
     /// one neighbor.
-    fn offer_migration(
+    fn offer_migration<R: NodeRuntime<HyperMsg, HyperWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        ctx: &mut R,
         targets: &[Peer],
         budget: u64,
     ) {
@@ -312,15 +312,16 @@ impl HyperSubNode {
             );
         }
         if offered_any {
-            ctx.world.metrics.proto.migration_rounds.inc(ctx.me);
+            let at = ctx.me();
+            ctx.world().metrics.proto.migration_rounds.inc(at);
         }
     }
 
     /// Acceptor side: store the migrated subscriptions in hosted repos and
     /// acknowledge with a projected summary per batch.
-    pub(crate) fn handle_migrate(
+    pub(crate) fn handle_migrate<R: NodeRuntime<HyperMsg, HyperWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        ctx: &mut R,
         origin: Peer,
         batches: Vec<MigBatch>,
     ) {
@@ -367,9 +368,9 @@ impl HyperSubNode {
 
     /// Origin side: on acknowledgment, replace the migrated entries with
     /// one surrogate subscription pointing at the acceptor.
-    pub(crate) fn handle_migrate_ack(
+    pub(crate) fn handle_migrate_ack<R: NodeRuntime<HyperMsg, HyperWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        ctx: &mut R,
         from: usize,
         acceptor: Peer,
         acks: Vec<MigAck>,
@@ -408,11 +409,12 @@ impl HyperSubNode {
                 }
             }
             self.lb.migrated_out += items.len() as u64;
-            ctx.world
+            let at = ctx.me();
+            ctx.world()
                 .metrics
                 .proto
                 .migrated_subs
-                .add(ctx.me, items.len() as u64);
+                .add(at, items.len() as u64);
             let moved = items.len() as u64;
             ctx.trace(|| ProtoEvent {
                 kind: "lb.migrate_ack",

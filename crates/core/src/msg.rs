@@ -12,7 +12,7 @@ use crate::repo::{RepoKey, StoredSub};
 use hypersub_chord::proto::ChordMsg;
 use hypersub_chord::Peer;
 use hypersub_lph::{Rect, ZoneCode};
-use hypersub_simnet::Payload;
+use hypersub_simnet::{Payload, WireMsg};
 use hypersub_snapshot::{Decode, Encode, Error, Reader, Writer};
 use std::sync::Arc;
 
@@ -538,6 +538,23 @@ impl Decode for HyperMsg {
     }
 }
 
+/// The live-transport framing of [`HyperMsg`]: version byte 1 followed by
+/// the snapshot-codec encoding above. The golden wire-bytes test pins the
+/// exact bytes so live framing can't drift silently; any layout change to
+/// an existing variant must bump `WIRE_VERSION` (appending variants under
+/// fresh tags is compatible — see the `WireMsg` versioning rules).
+impl WireMsg for HyperMsg {
+    const WIRE_VERSION: u8 = 1;
+
+    fn wire_encode(&self, w: &mut Writer) {
+        self.encode(w);
+    }
+
+    fn wire_decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Self::decode(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -654,5 +671,67 @@ mod tests {
         };
         // 20 + 12 + (9 + 5 + 2*(9+32))
         assert_eq!(msg.wire_size(), 128);
+    }
+
+    /// §5.1 size-model audit: the paper models "20 bytes for packet
+    /// header, 100 bytes for event, and 9 bytes for each SubID (8 bytes
+    /// for subscriber's nodeID, and 1 byte for internalID)". Bandwidth
+    /// accounting (Fig 2d, Fig 3) is computed from these constants, so
+    /// they are pinned literally, and an event message's size must scale
+    /// at exactly 9 bytes per carried SubID.
+    #[test]
+    fn wire_sizes_follow_paper_model() {
+        assert_eq!(HEADER_BYTES, 20);
+        assert_eq!(EVENT_BYTES, 100);
+        assert_eq!(SUBID_BYTES, 9);
+        assert_eq!(ZONE_BYTES, 9);
+
+        for k in 0..8usize {
+            let msg = HyperMsg::Delivery(DeliveryMsg {
+                scheme: 0,
+                ss: 0,
+                event: Arc::new(Event {
+                    id: 1,
+                    point: Point(vec![0.5, 0.5]),
+                }),
+                hops: 3,
+                sender: None,
+                targets: (0..k)
+                    .map(|i| {
+                        SubTarget::sub(SubId {
+                            nid: i as u64,
+                            iid: 1,
+                        })
+                    })
+                    .collect(),
+            });
+            assert_eq!(
+                msg.wire_size(),
+                HEADER_BYTES + EVENT_BYTES + SUBID_BYTES * k
+            );
+        }
+
+        // Control messages: the same 20-byte header plus the natural
+        // serialized size of their fields.
+        let probe = HyperMsg::LoadProbe {
+            origin: Peer { id: 1, idx: 0 },
+            ttl: 3,
+        };
+        assert_eq!(probe.wire_size(), HEADER_BYTES + 12 + 1); // peer + ttl
+        let reply = HyperMsg::LoadReply { load: 7 };
+        assert_eq!(reply.wire_size(), HEADER_BYTES + 8);
+        let ack = HyperMsg::Ack { token: 1 };
+        assert_eq!(ack.wire_size(), HEADER_BYTES + 8);
+        // The reliable envelope adds exactly its 8-byte token.
+        let wrapped = HyperMsg::Reliable {
+            token: 1,
+            inner: Box::new(HyperMsg::LoadReply { load: 7 }),
+        };
+        assert_eq!(wrapped.wire_size(), reply.wire_size() + 8);
+        // Chord maintenance rides the same header model (12-byte peers).
+        let chord = HyperMsg::Chord(ChordMsg::Notify {
+            peer: Peer { id: 1, idx: 0 },
+        });
+        assert_eq!(chord.wire_size(), HEADER_BYTES + 12);
     }
 }

@@ -7,7 +7,7 @@ use crate::repo::{HostedRepo, RepoKey, ZoneRepo};
 use crate::world::HyperWorld;
 use hypersub_chord::proto::MaintState;
 use hypersub_chord::ChordState;
-use hypersub_simnet::{Ctx, FxHashMap, Node};
+use hypersub_simnet::{FxHashMap, Node, NodeRuntime};
 use hypersub_snapshot::{Decode, Encode, Error, Reader, Writer};
 use std::sync::Arc;
 
@@ -224,9 +224,9 @@ impl Node<HyperMsg, HyperWorld> for HyperSubNode {
     /// re-route traffic that must not be lost (deliveries and
     /// registrations take the next-best hop; probes and maintenance are
     /// periodic and simply retry next round).
-    fn on_send_failed(
+    fn on_send_failed<R: NodeRuntime<HyperMsg, HyperWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        ctx: &mut R,
         dst: usize,
         msg: HyperMsg,
     ) {
@@ -261,7 +261,12 @@ impl Node<HyperMsg, HyperWorld> for HyperSubNode {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>, from: usize, msg: HyperMsg) {
+    fn on_message<R: NodeRuntime<HyperMsg, HyperWorld>>(
+        &mut self,
+        ctx: &mut R,
+        from: usize,
+        msg: HyperMsg,
+    ) {
         match msg {
             HyperMsg::Route { key, inner } => self.handle_route(ctx, key, inner),
             HyperMsg::Delivery(d) => self.handle_delivery(ctx, d),
@@ -291,14 +296,14 @@ impl Node<HyperMsg, HyperWorld> for HyperSubNode {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>, token: u64) {
+    fn on_timer<R: NodeRuntime<HyperMsg, HyperWorld>>(&mut self, ctx: &mut R, token: u64) {
         if token >= TOKEN_RETRY_BASE {
             self.retry_fire(ctx, token - TOKEN_RETRY_BASE);
             return;
         }
         if token >= TOKEN_PUBLISH_BASE {
             let idx = (token - TOKEN_PUBLISH_BASE) as usize;
-            let (scheme, event) = ctx.world.take_scripted(idx);
+            let (scheme, event) = ctx.world().take_scripted(idx);
             self.publish_event(ctx, scheme, event);
             return;
         }

@@ -28,7 +28,7 @@
 use crate::msg::HyperMsg;
 use crate::node::{DedupCache, HyperSubNode, TOKEN_RETRY_BASE};
 use crate::world::HyperWorld;
-use hypersub_simnet::{Ctx, FxHashMap, ProtoEvent, SimTime};
+use hypersub_simnet::{FxHashMap, NodeRuntime, ProtoEvent, SimTime};
 use hypersub_snapshot::{Decode, Encode, Error, Reader, Writer};
 
 /// One unacked reliable transmission.
@@ -79,13 +79,13 @@ impl HyperSubNode {
     /// Sends `msg` to `dst` with ack/retransmit protection when retries
     /// are enabled; plain send otherwise (and always for self-sends,
     /// which cannot be lost).
-    pub(crate) fn send_reliable(
+    pub(crate) fn send_reliable<R: NodeRuntime<HyperMsg, HyperWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        ctx: &mut R,
         dst: usize,
         msg: HyperMsg,
     ) {
-        if !self.cfg.retry.enabled || dst == ctx.me {
+        if !self.cfg.retry.enabled || dst == ctx.me() {
             ctx.send(dst, msg);
             return;
         }
@@ -96,7 +96,7 @@ impl HyperSubNode {
                 dst,
                 msg: msg.clone(),
                 attempts: 1,
-                sent_at: ctx.now,
+                sent_at: ctx.now(),
             },
         );
         ctx.send(
@@ -111,9 +111,9 @@ impl HyperSubNode {
 
     /// Receiver side: ack the transmission, then process the payload
     /// exactly once per `(sender, token)`.
-    pub(crate) fn handle_reliable(
+    pub(crate) fn handle_reliable<R: NodeRuntime<HyperMsg, HyperWorld>>(
         &mut self,
-        ctx: &mut Ctx<'_, HyperMsg, HyperWorld>,
+        ctx: &mut R,
         from: usize,
         token: u64,
         inner: HyperMsg,
@@ -126,11 +126,16 @@ impl HyperSubNode {
     }
 
     /// Sender side: the destination confirmed receipt.
-    pub(crate) fn handle_ack(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>, token: u64) {
+    pub(crate) fn handle_ack<R: NodeRuntime<HyperMsg, HyperWorld>>(
+        &mut self,
+        ctx: &mut R,
+        token: u64,
+    ) {
         if let Some(p) = self.rel.pending.remove(&token) {
-            let latency = ctx.now.saturating_sub(p.sent_at);
-            let m = &mut ctx.world.metrics.proto;
-            m.acks.inc(ctx.me);
+            let latency = ctx.now().saturating_sub(p.sent_at);
+            let me = ctx.me();
+            let m = &mut ctx.world().metrics.proto;
+            m.acks.inc(me);
             m.ack_latency_us.observe(latency.as_micros());
             ctx.trace(|| ProtoEvent {
                 kind: "retry.ack",
@@ -143,7 +148,11 @@ impl HyperSubNode {
 
     /// Retransmit-timer expiry for `token`: re-send with doubled timeout,
     /// or give up after the configured attempts.
-    pub(crate) fn retry_fire(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>, token: u64) {
+    pub(crate) fn retry_fire<R: NodeRuntime<HyperMsg, HyperWorld>>(
+        &mut self,
+        ctx: &mut R,
+        token: u64,
+    ) {
         let Some(p) = self.rel.pending.get_mut(&token) else {
             return; // acked (or resolved via SendFailed) in the meantime
         };
@@ -157,7 +166,8 @@ impl HyperSubNode {
         let attempts = p.attempts;
         let dst = p.dst;
         let msg = p.msg.clone();
-        ctx.world.metrics.proto.retry_attempts.inc(ctx.me);
+        let me = ctx.me();
+        ctx.world().metrics.proto.retry_attempts.inc(me);
         ctx.trace(|| ProtoEvent {
             kind: "retry.xmit",
             flow: None,
@@ -182,8 +192,14 @@ impl HyperSubNode {
     }
 
     /// All retransmissions exhausted without an ack.
-    fn give_up(&mut self, ctx: &mut Ctx<'_, HyperMsg, HyperWorld>, p: PendingSend, token: u64) {
-        ctx.world.metrics.proto.retry_give_ups.inc(ctx.me);
+    fn give_up<R: NodeRuntime<HyperMsg, HyperWorld>>(
+        &mut self,
+        ctx: &mut R,
+        p: PendingSend,
+        token: u64,
+    ) {
+        let me = ctx.me();
+        ctx.world().metrics.proto.retry_give_ups.inc(me);
         ctx.trace(|| ProtoEvent {
             kind: "retry.give_up",
             flow: None,

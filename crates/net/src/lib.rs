@@ -1,0 +1,26 @@
+//! Real-socket runtime for HyperSub protocol nodes.
+//!
+//! The protocol crates (`hypersub-core`, `hypersub-chord`) are written
+//! against [`hypersub_simnet::NodeRuntime`], not against the simulator —
+//! this crate is the second implementation of that contract. It hosts the
+//! very same [`hypersub_simnet::Node`] state machines over TCP:
+//!
+//! * [`frame`] — 4-byte length-prefixed frames carrying
+//!   [`hypersub_simnet::WireMsg`] encodings, plus the connection
+//!   handshake that announces the dialer's node index,
+//! * [`wheel`] — a timer wheel with the simulator's deadline-then-FIFO
+//!   firing order,
+//! * [`driver`] — a single driver thread per node owning the protocol
+//!   state, fed by per-connection reader threads, with outbound
+//!   connection reuse and fail-stop dial/write errors surfaced as
+//!   `on_send_failed`.
+//!
+//! The `hypersub-node` binary builds a runnable pub/sub node on top.
+
+pub mod driver;
+pub mod frame;
+pub mod wheel;
+
+pub use driver::{spawn, Call, LiveConfig, LiveCtx, NetHandle};
+pub use frame::{read_frame, write_frame, MAX_FRAME};
+pub use wheel::TimerWheel;

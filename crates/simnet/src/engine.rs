@@ -13,6 +13,7 @@
 
 use crate::fault::{FaultPlane, Verdict};
 use crate::queue::{EventQueue, SimEvent};
+use crate::runtime::NodeRuntime;
 use crate::stats::NetStats;
 use crate::time::SimTime;
 use crate::topology::Topology;
@@ -42,20 +43,25 @@ impl Payload for () {
     }
 }
 
-/// Per-node protocol logic.
+/// Per-node protocol logic, generic over the hosting runtime.
+///
+/// Handlers receive an `&mut R` where `R:`[`NodeRuntime`]`<M, W>`: the
+/// simulator passes its [`Ctx`], a live transport passes its own runtime.
+/// Dispatch is static (monomorphized per runtime), so the abstraction
+/// costs the simulator hot path nothing.
 pub trait Node<M: Payload, W>: Sized {
     /// Called when a message from node `from` arrives.
-    fn on_message(&mut self, ctx: &mut Ctx<'_, M, W>, from: usize, msg: M);
+    fn on_message<R: NodeRuntime<M, W>>(&mut self, ctx: &mut R, from: usize, msg: M);
 
-    /// Called when a timer scheduled with [`Ctx::set_timer`] (or externally
-    /// via [`Sim::schedule_timer`]) fires.
-    fn on_timer(&mut self, _ctx: &mut Ctx<'_, M, W>, _token: u64) {}
+    /// Called when a timer scheduled with [`NodeRuntime::set_timer`] (or
+    /// externally via [`Sim::schedule_timer`]) fires.
+    fn on_timer<R: NodeRuntime<M, W>>(&mut self, _ctx: &mut R, _token: u64) {}
 
     /// Called when a message this node sent could not be delivered because
     /// the destination is down (fail-stop model: the notification arrives
     /// one propagation delay after the send, like a refused connection).
     /// Default: ignore.
-    fn on_send_failed(&mut self, _ctx: &mut Ctx<'_, M, W>, _dst: usize, _msg: M) {}
+    fn on_send_failed<R: NodeRuntime<M, W>>(&mut self, _ctx: &mut R, _dst: usize, _msg: M) {}
 }
 
 /// The API surface a node sees while handling an event.
@@ -714,16 +720,17 @@ mod tests {
     }
 
     impl Node<Hop, World> for RingNode {
-        fn on_message(&mut self, ctx: &mut Ctx<'_, Hop, World>, _from: usize, msg: Hop) {
-            ctx.world.delivered.push((ctx.me, ctx.now));
+        fn on_message<R: NodeRuntime<Hop, World>>(&mut self, ctx: &mut R, _from: usize, msg: Hop) {
+            let (me, now) = (ctx.me(), ctx.now());
+            ctx.world().delivered.push((me, now));
             if msg.ttl > 0 {
-                let next = (ctx.me + 1) % 4;
+                let next = (me + 1) % 4;
                 ctx.send(next, Hop { ttl: msg.ttl - 1 });
             }
         }
 
-        fn on_timer(&mut self, ctx: &mut Ctx<'_, Hop, World>, token: u64) {
-            ctx.send((ctx.me + 1) % 4, Hop { ttl: token as u32 });
+        fn on_timer<R: NodeRuntime<Hop, World>>(&mut self, ctx: &mut R, token: u64) {
+            ctx.send((ctx.me() + 1) % 4, Hop { ttl: token as u32 });
         }
     }
 
@@ -801,12 +808,24 @@ mod tests {
             failed: Vec<(usize, SimTime)>,
         }
         impl Node<Hop, W> for Retry {
-            fn on_message(&mut self, _ctx: &mut Ctx<'_, Hop, W>, _from: usize, _msg: Hop) {}
-            fn on_timer(&mut self, ctx: &mut Ctx<'_, Hop, W>, _token: u64) {
+            fn on_message<R: NodeRuntime<Hop, W>>(
+                &mut self,
+                _ctx: &mut R,
+                _from: usize,
+                _msg: Hop,
+            ) {
+            }
+            fn on_timer<R: NodeRuntime<Hop, W>>(&mut self, ctx: &mut R, _token: u64) {
                 ctx.send(2, Hop { ttl: 0 });
             }
-            fn on_send_failed(&mut self, ctx: &mut Ctx<'_, Hop, W>, dst: usize, _msg: Hop) {
-                ctx.world.failed.push((dst, ctx.now));
+            fn on_send_failed<R: NodeRuntime<Hop, W>>(
+                &mut self,
+                ctx: &mut R,
+                dst: usize,
+                _msg: Hop,
+            ) {
+                let now = ctx.now();
+                ctx.world().failed.push((dst, now));
             }
         }
         let topo = Arc::new(UniformTopology::new(4, SimTime::from_millis(10)));

@@ -16,13 +16,16 @@
 //!
 //! Protocols are written as [`engine::Node`] implementations: the engine
 //! calls `on_message`/`on_timer`, the node emits sends and timers through
-//! [`engine::Ctx`], and the engine charges latency and bandwidth. A whole
-//! simulation is reproducible from a single `u64` seed.
+//! its [`runtime::NodeRuntime`] (here, [`engine::Ctx`]), and the engine
+//! charges latency and bandwidth. A whole simulation is reproducible from
+//! a single `u64` seed. The same `Node` implementations run unchanged over
+//! any other [`runtime::NodeRuntime`] host — e.g. a real-socket transport.
 
 pub mod engine;
 pub mod fault;
 pub mod fxhash;
 pub mod queue;
+pub mod runtime;
 pub mod stats;
 pub mod time;
 pub mod topology;
@@ -32,6 +35,7 @@ pub use engine::{Ctx, Node, Payload, Sim, SimSnapshot};
 pub use fault::{FaultPlane, LinkPolicy, Verdict};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use queue::SimEvent;
+pub use runtime::{NodeRuntime, WireMsg};
 pub use stats::NetStats;
 pub use time::SimTime;
 pub use topology::{KingLikeTopology, MatrixTopology, Topology, UniformTopology};

@@ -1,0 +1,155 @@
+//! The runtime abstraction: what a protocol node may ask of its host.
+//!
+//! Protocol state machines ([`crate::Node`] implementations) never talk to
+//! an engine directly — every interaction with the outside world goes
+//! through a [`NodeRuntime`]: sending messages, arming timers, reading the
+//! clock, drawing randomness, and emitting trace events. The simulator's
+//! [`crate::Ctx`] is one implementation; a live transport (e.g. the
+//! `hypersub-net` TCP driver) is another. Because `Node` handlers are
+//! generic over the runtime and every implementation is statically
+//! dispatched, the abstraction costs the simulator hot path nothing: the
+//! monomorphized sim code is identical to the pre-trait field accesses,
+//! which the golden run digests and the hotpath benchmark pin.
+//!
+//! [`WireMsg`] is the companion contract for runtimes that put messages on
+//! a real wire: an explicit, versioned byte encoding built on the
+//! `hypersub-snapshot` codec, so sim-tested protocol types frame
+//! identically across processes and releases.
+
+use crate::engine::Ctx;
+use crate::time::SimTime;
+use crate::trace::ProtoEvent;
+use hypersub_snapshot::{Error, Reader, Writer};
+use rand::rngs::SmallRng;
+
+/// The API surface a protocol node sees while handling an event, abstracted
+/// over the engine that hosts it.
+///
+/// `M` is the message type, `W` the shared world (metric sinks, oracles,
+/// scenario state). Implementations queue sends and timers rather than
+/// blocking; delivery latency and timer dispatch are the host's concern.
+///
+/// The trait is deliberately not object-safe ([`NodeRuntime::trace`] takes
+/// an `impl FnOnce` so a disabled recorder costs one branch and zero
+/// allocation); hosts dispatch statically, which is what keeps the sim
+/// digests bit-identical to the pre-trait code.
+pub trait NodeRuntime<M, W> {
+    /// Index of the node currently executing.
+    fn me(&self) -> usize;
+
+    /// The current time.
+    fn now(&self) -> SimTime;
+
+    /// Mutable access to the shared world.
+    fn world(&mut self) -> &mut W;
+
+    /// Deterministic randomness owned by the host.
+    fn rng(&mut self) -> &mut SmallRng;
+
+    /// Sends `msg` to node `dst`. Sending to self is allowed; the message
+    /// is handed back to the node after already-queued work.
+    fn send(&mut self, dst: usize, msg: M);
+
+    /// Arms a timer to fire on this node after `delay`.
+    fn set_timer(&mut self, delay: SimTime, token: u64);
+
+    /// True when a trace sink is installed — lets protocols skip expensive
+    /// event construction entirely.
+    fn tracing(&self) -> bool;
+
+    /// Records a protocol event if a trace sink is installed. The closure
+    /// runs only when tracing is on.
+    fn trace(&mut self, f: impl FnOnce() -> ProtoEvent);
+}
+
+/// The simulator context is the reference runtime: straight `#[inline]`
+/// delegation to its public fields and inherent methods, so generic
+/// protocol code monomorphized against `Ctx` compiles to exactly what the
+/// pre-trait field accesses did.
+impl<M, W> NodeRuntime<M, W> for Ctx<'_, M, W> {
+    #[inline]
+    fn me(&self) -> usize {
+        self.me
+    }
+
+    #[inline]
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    #[inline]
+    fn world(&mut self) -> &mut W {
+        &mut *self.world
+    }
+
+    #[inline]
+    fn rng(&mut self) -> &mut SmallRng {
+        &mut *self.rng
+    }
+
+    #[inline]
+    fn send(&mut self, dst: usize, msg: M) {
+        Ctx::send(self, dst, msg);
+    }
+
+    #[inline]
+    fn set_timer(&mut self, delay: SimTime, token: u64) {
+        Ctx::set_timer(self, delay, token);
+    }
+
+    #[inline]
+    fn tracing(&self) -> bool {
+        Ctx::tracing(self)
+    }
+
+    #[inline]
+    fn trace(&mut self, f: impl FnOnce() -> ProtoEvent) {
+        Ctx::trace(self, f);
+    }
+}
+
+/// An explicit, versioned wire encoding for protocol messages, built on
+/// the `hypersub-snapshot` codec.
+///
+/// Framing rules (see DESIGN.md "Transport & runtime"):
+///
+/// * The first byte of every encoded message is [`WireMsg::WIRE_VERSION`].
+///   A decoder seeing any other value must reject the message — never
+///   guess at a foreign layout.
+/// * Any change to the byte layout of an existing message variant bumps
+///   the version. Appending new enum variants under fresh tags is
+///   version-compatible (old decoders reject the unknown tag as malformed,
+///   which is the correct failure).
+/// * [`WireMsg::from_wire_bytes`] rejects trailing bytes: a frame carries
+///   exactly one message.
+pub trait WireMsg: Sized {
+    /// Version byte prefixed to every encoded message.
+    const WIRE_VERSION: u8;
+
+    /// Writes the message body (everything after the version byte).
+    fn wire_encode(&self, w: &mut Writer);
+
+    /// Reads a message body written by [`WireMsg::wire_encode`].
+    fn wire_decode(r: &mut Reader<'_>) -> Result<Self, Error>;
+
+    /// Encodes the full wire form: version byte + body.
+    fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(Self::WIRE_VERSION);
+        self.wire_encode(&mut w);
+        w.into_vec()
+    }
+
+    /// Decodes a full wire form produced by [`WireMsg::to_wire_bytes`],
+    /// rejecting version mismatches and trailing bytes.
+    fn from_wire_bytes(bytes: &[u8]) -> Result<Self, Error> {
+        let mut r = Reader::new(bytes);
+        let version = r.take_u8()?;
+        if version != Self::WIRE_VERSION {
+            return Err(Error::UnsupportedVersion(version as u32));
+        }
+        let msg = Self::wire_decode(&mut r)?;
+        r.finish()?;
+        Ok(msg)
+    }
+}

@@ -11,7 +11,7 @@
 //! the event value's key on that attribute's ring) and delivers matches
 //! through the shared embedded-tree splitter.
 
-use crate::common::{split_targets, to_targets, BaselineWorld};
+use crate::common::{split_targets, to_targets, BaselineNode, BaselineWorld};
 use hypersub_chord::routing::{next_hop, NextHop};
 use hypersub_chord::{in_open_closed, ChordState};
 use hypersub_core::model::{Event, SubId, SubTarget, Subscription};
@@ -20,8 +20,7 @@ use hypersub_lph::{rotation_offset, ContentSpace};
 use hypersub_simnet::{Node, NodeRuntime, Payload};
 use std::collections::HashMap;
 
-/// Timer token base for scripted publishes.
-pub const TOKEN_PUBLISH_BASE: u64 = 1 << 32;
+pub use crate::common::TOKEN_PUBLISH_BASE;
 
 /// Attribute-ring messages.
 #[derive(Debug, Clone)]
@@ -346,6 +345,22 @@ impl Node<AttrMsg, BaselineWorld> for AttrRingNode {
                 .expect("scripted event fired twice");
             self.publish(ctx, ev);
         }
+    }
+}
+
+impl BaselineNode for AttrRingNode {
+    type Msg = AttrMsg;
+
+    fn subscribe<R: NodeRuntime<AttrMsg, BaselineWorld>>(
+        &mut self,
+        ctx: &mut R,
+        sub: Subscription,
+    ) -> SubId {
+        AttrRingNode::subscribe(self, ctx, sub)
+    }
+
+    fn load(&self) -> u64 {
+        AttrRingNode::load(self)
     }
 }
 

@@ -1,0 +1,280 @@
+//! Flood/gossip pub/sub strawman (SmartPubSub-style, after arXiv
+//! 2207.06369).
+//!
+//! Subscriptions never leave the subscriber: installation costs zero
+//! messages and zero remote storage. Every published event is instead
+//! disseminated to *all* brokers over the Chord broadcast tree (El-Ansary
+//! et al.: each node forwards to the fingers inside its assigned arc,
+//! sub-dividing the arc so every node is reached exactly once), and each
+//! broker matches the event against its own subscriptions locally. This
+//! is the unstructured extreme of the design space — O(n) bandwidth per
+//! event, perfectly flat storage — and the strawman every structured
+//! design in the shoot-out must beat on bandwidth while matching on
+//! delivery.
+
+use crate::common::{BaselineNode, BaselineWorld};
+use hypersub_chord::{clockwise_distance, ChordState, Peer};
+use hypersub_core::model::{Event, SubId, Subscription};
+use hypersub_core::msg::{EVENT_BYTES, HEADER_BYTES};
+use hypersub_simnet::{Node, NodeRuntime, Payload};
+use std::collections::HashMap;
+
+pub use crate::common::TOKEN_PUBLISH_BASE;
+
+/// Gossip-system messages.
+#[derive(Debug, Clone)]
+pub enum GossipMsg {
+    /// Broadcast-tree dissemination: the receiver owns the ring arc
+    /// `(receiver, limit]` and must cover it.
+    Flood {
+        /// The event.
+        event: Event,
+        /// Hops so far.
+        hops: u32,
+        /// Last ring id of the receiver's arc.
+        limit: u64,
+    },
+}
+
+impl Payload for GossipMsg {
+    fn wire_size(&self) -> usize {
+        let GossipMsg::Flood { .. } = self;
+        HEADER_BYTES + EVENT_BYTES + 8
+    }
+
+    fn flow(&self) -> Option<u64> {
+        let GossipMsg::Flood { event, .. } = self;
+        Some(event.id)
+    }
+}
+
+/// A node of the gossip/flood baseline.
+#[derive(Debug, Clone)]
+pub struct GossipNode {
+    /// Chord routing state (used only for the broadcast tree).
+    pub chord: ChordState,
+    /// Local subscriptions by internal id — the only storage anywhere.
+    pub local: HashMap<u32, Subscription>,
+    next_iid: u32,
+}
+
+impl GossipNode {
+    /// Creates a node.
+    pub fn new(chord: ChordState) -> Self {
+        Self {
+            chord,
+            local: HashMap::new(),
+            next_iid: 1,
+        }
+    }
+
+    /// Installs a subscription: purely local, no messages.
+    pub fn subscribe<R: NodeRuntime<GossipMsg, BaselineWorld>>(
+        &mut self,
+        ctx: &mut R,
+        sub: Subscription,
+    ) -> SubId {
+        let iid = self.next_iid;
+        self.next_iid += 1;
+        self.local.insert(iid, sub.clone());
+        let subid = SubId {
+            nid: self.chord.id,
+            iid,
+        };
+        ctx.world().oracle.add(0, subid, sub);
+        subid
+    }
+
+    /// Publishes an event: flood it over the whole ring.
+    pub fn publish<R: NodeRuntime<GossipMsg, BaselineWorld>>(&mut self, ctx: &mut R, event: Event) {
+        let (me, now) = (ctx.me(), ctx.now());
+        let expected = ctx.world().oracle.expected_matches(0, &event.point).len();
+        ctx.world()
+            .metrics
+            .record_publish(event.id, now, me, expected);
+        // The publisher owns the whole ring except itself, so it can
+        // never be re-reached by its own children.
+        let limit = self.chord.id.wrapping_sub(1);
+        self.flood(ctx, event, 0, limit);
+    }
+
+    /// Delivers locally and covers the arc `(self, limit]` by delegating
+    /// disjoint sub-arcs to routing-table neighbors (Chord broadcast).
+    fn flood<R: NodeRuntime<GossipMsg, BaselineWorld>>(
+        &mut self,
+        ctx: &mut R,
+        event: Event,
+        hops: u32,
+        limit: u64,
+    ) {
+        let now = ctx.now();
+        let mut matched: Vec<u32> = self
+            .local
+            .iter()
+            .filter(|(_, s)| s.matches(&event))
+            .map(|(&iid, _)| iid)
+            .collect();
+        matched.sort_unstable();
+        for iid in matched {
+            ctx.world().metrics.record_delivery(
+                event.id,
+                SubId {
+                    nid: self.chord.id,
+                    iid,
+                },
+                now,
+                hops,
+            );
+        }
+        let span = clockwise_distance(self.chord.id, limit);
+        if span == 0 {
+            return; // Arc is empty: leaf of the broadcast tree.
+        }
+        // Children: every known neighbor inside the arc, nearest first,
+        // deduplicated by id. Includes the immediate successor, so no
+        // node in the arc can be skipped.
+        let mut children: Vec<(u64, Peer)> = self
+            .chord
+            .fingers
+            .iter()
+            .flatten()
+            .chain(self.chord.successors.iter())
+            .map(|p| (clockwise_distance(self.chord.id, p.id), *p))
+            .filter(|&(d, _)| d >= 1 && d <= span)
+            .collect();
+        children.sort_unstable_by_key(|&(d, _)| d);
+        children.dedup_by_key(|&mut (d, _)| d);
+        for i in 0..children.len() {
+            let sub_limit = if i + 1 < children.len() {
+                children[i + 1].1.id.wrapping_sub(1)
+            } else {
+                limit
+            };
+            ctx.send(
+                children[i].1.idx,
+                GossipMsg::Flood {
+                    event: event.clone(),
+                    hops: hops + 1,
+                    limit: sub_limit,
+                },
+            );
+        }
+    }
+
+    /// Stored-entry count: local subscriptions only (flat by design).
+    pub fn load(&self) -> u64 {
+        self.local.len() as u64
+    }
+}
+
+impl Node<GossipMsg, BaselineWorld> for GossipNode {
+    fn on_message<R: NodeRuntime<GossipMsg, BaselineWorld>>(
+        &mut self,
+        ctx: &mut R,
+        _from: usize,
+        msg: GossipMsg,
+    ) {
+        let GossipMsg::Flood { event, hops, limit } = msg;
+        self.flood(ctx, event, hops, limit);
+    }
+
+    fn on_timer<R: NodeRuntime<GossipMsg, BaselineWorld>>(&mut self, ctx: &mut R, token: u64) {
+        if token >= TOKEN_PUBLISH_BASE {
+            let idx = (token - TOKEN_PUBLISH_BASE) as usize;
+            let ev = ctx.world().script[idx]
+                .take()
+                .expect("scripted event fired twice");
+            self.publish(ctx, ev);
+        }
+    }
+}
+
+impl BaselineNode for GossipNode {
+    type Msg = GossipMsg;
+
+    fn subscribe<R: NodeRuntime<GossipMsg, BaselineWorld>>(
+        &mut self,
+        ctx: &mut R,
+        sub: Subscription,
+    ) -> SubId {
+        GossipNode::subscribe(self, ctx, sub)
+    }
+
+    fn load(&self) -> u64 {
+        GossipNode::load(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{BaselineNet, BaselineNetBuilder};
+    use hypersub_lph::{Point, Rect};
+    use hypersub_simnet::SimTime;
+
+    fn make_net(n: usize) -> BaselineNet<GossipNode> {
+        BaselineNetBuilder::new(n)
+            .seed(5)
+            .build_with(GossipNode::new)
+            .unwrap()
+    }
+
+    #[test]
+    fn subscriptions_cost_zero_messages() {
+        let mut net = make_net(16);
+        for i in 0..16 {
+            let sub = Subscription::new(Rect::new(vec![0.0, 0.0], vec![100.0, 100.0]));
+            net.subscribe(i, sub).unwrap();
+        }
+        net.run_to_quiescence();
+        assert_eq!(net.net().total_msgs(), 0);
+        assert!(net.node_loads().iter().all(|&l| l == 1), "storage is flat");
+    }
+
+    #[test]
+    fn flood_reaches_every_node_exactly_once() {
+        let mut net = make_net(32);
+        // Everyone subscribes to everything: delivered == nodes iff the
+        // broadcast tree covers the ring without duplicates.
+        for i in 0..32 {
+            let sub = Subscription::new(Rect::new(vec![0.0, 0.0], vec![100.0, 100.0]));
+            net.subscribe(i, sub).unwrap();
+        }
+        net.run_to_quiescence();
+        let at = net.time() + SimTime::from_secs(1);
+        net.schedule_publish(at, 5, Point(vec![50.0, 50.0]))
+            .unwrap();
+        net.run_to_quiescence();
+        let stats = net.event_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].delivered, 32);
+        assert_eq!(stats[0].duplicates, 0);
+        // Exactly n - 1 flood messages: one per non-publisher node.
+        assert_eq!(net.net().total_msgs(), 31);
+    }
+
+    #[test]
+    fn flood_matches_bruteforce_on_partial_subs() {
+        let mut net = make_net(12);
+        for i in 0..12 {
+            let lo = i as f64 * 8.0;
+            let sub = Subscription::new(Rect::new(vec![lo, 0.0], vec![lo + 10.0, 100.0]));
+            net.subscribe(i, sub).unwrap();
+        }
+        net.run_to_quiescence();
+        let mut t = net.time();
+        for (node, point) in [
+            (3, Point(vec![50.0, 50.0])),
+            (7, Point(vec![0.0, 0.0])),
+            (1, Point(vec![95.0, 20.0])),
+        ] {
+            t += SimTime::from_secs(1);
+            net.schedule_publish(t, node, point).unwrap();
+        }
+        net.run_to_quiescence();
+        for s in net.event_stats() {
+            assert_eq!(s.delivered, s.expected, "event {}", s.event);
+            assert_eq!(s.duplicates, 0, "event {}", s.event);
+        }
+    }
+}

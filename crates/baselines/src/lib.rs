@@ -2,7 +2,8 @@
 //!
 //! The paper's related-work section (§2) positions HyperSub against two
 //! families of DHT-based content-based pub/sub designs; we implement one
-//! representative of each so the benches can demonstrate the trade-offs
+//! representative of each — plus two further rivals from the follow-on
+//! literature — so the shoot-out harness can demonstrate the trade-offs
 //! the paper claims:
 //!
 //! * [`rendezvous`] — a **Ferry-style single-rendezvous** system (Zhu &
@@ -19,10 +20,25 @@
 //!   "subscription installation/reinforcement will involve a large number
 //!   of nodes and messages" — visible as per-subscription installation
 //!   cost.
+//! * [`subgroup`] — a **subscription-subgrouping** variant (after arXiv
+//!   1611.08743): each attribute's domain is cut into a fixed number of
+//!   subgroups and a subscription registers with the subgroups its
+//!   dominant attribute range intersects. Installation cost is bounded by
+//!   the subgroup count instead of node density, decoupling it from the
+//!   advertisement (event) path.
+//! * [`gossip`] — a **flood/gossip strawman** (SmartPubSub-style, after
+//!   arXiv 2207.06369): subscriptions stay local and every event is
+//!   flooded to all brokers over the Chord broadcast tree, matched
+//!   locally. Zero installation cost, O(n) bandwidth per event — the
+//!   baseline every structured design must beat.
 //!
-//! Both reuse the Chord substrate ([`hypersub_chord`]) and the metric
-//! sinks from [`hypersub_core`], so results are directly comparable.
+//! All four reuse the Chord substrate ([`hypersub_chord`]) and the metric
+//! sinks from [`hypersub_core`], and implement
+//! [`common::BaselineNode`] so [`common::BaselineNet`] can drive any of
+//! them with the builder / typed-error / `Report` API.
 
 pub mod attr_ring;
 pub mod common;
+pub mod gossip;
 pub mod rendezvous;
+pub mod subgroup;

@@ -7,7 +7,7 @@
 //! which HyperSub adopted). All matching/storage load concentrates on one
 //! node, which is exactly the scalability concern §2 raises about Ferry.
 
-use crate::common::{split_targets, to_targets, BaselineWorld};
+use crate::common::{split_targets, to_targets, BaselineNode, BaselineWorld};
 use hypersub_chord::routing::{next_hop, NextHop};
 use hypersub_chord::ChordState;
 use hypersub_core::model::{Event, SubId, SubTarget, Subscription};
@@ -16,8 +16,7 @@ use hypersub_lph::rotation_offset;
 use hypersub_simnet::{Node, NodeRuntime, Payload};
 use std::collections::HashMap;
 
-/// Timer token base for scripted publishes.
-pub const TOKEN_PUBLISH_BASE: u64 = 1 << 32;
+pub use crate::common::TOKEN_PUBLISH_BASE;
 
 /// Rendezvous-system messages.
 #[derive(Debug, Clone)]
@@ -253,6 +252,22 @@ impl Node<RdvMsg, BaselineWorld> for RendezvousNode {
                 .expect("scripted event fired twice");
             self.publish(ctx, ev);
         }
+    }
+}
+
+impl BaselineNode for RendezvousNode {
+    type Msg = RdvMsg;
+
+    fn subscribe<R: NodeRuntime<RdvMsg, BaselineWorld>>(
+        &mut self,
+        ctx: &mut R,
+        sub: Subscription,
+    ) -> SubId {
+        RendezvousNode::subscribe(self, ctx, sub)
+    }
+
+    fn load(&self) -> u64 {
+        RendezvousNode::load(self)
     }
 }
 

@@ -6,18 +6,17 @@
 //! subscription installation; HyperSub spreads load while keeping
 //! installation cheap.
 
-use hypersub_baselines::attr_ring::{AttrMsg, AttrRingNode};
-use hypersub_baselines::common::BaselineWorld;
-use hypersub_baselines::rendezvous::{RdvMsg, RendezvousNode};
+use hypersub_baselines::attr_ring::AttrRingNode;
+use hypersub_baselines::common::{BaselineNet, BaselineNetBuilder, BaselineNode};
+use hypersub_baselines::rendezvous::RendezvousNode;
 use hypersub_bench::is_quick;
-use hypersub_chord::builder::{build_ring, RingConfig};
+use hypersub_chord::ChordState;
 use hypersub_core::config::SystemConfig;
-use hypersub_core::model::{Event, Registry};
+use hypersub_core::model::Registry;
 use hypersub_core::sim::{Network, TopologyKind};
-use hypersub_simnet::{KingLikeTopology, Sim, SimTime, Topology};
+use hypersub_simnet::SimTime;
 use hypersub_stats::Table;
 use hypersub_workload::{WorkloadGen, WorkloadSpec};
-use std::sync::Arc;
 
 struct Row {
     system: &'static str,
@@ -99,97 +98,53 @@ fn run_hypersub(quick: bool, spec: &WorkloadSpec, seed: u64) -> Row {
     )
 }
 
-fn run_rendezvous(quick: bool, spec: &WorkloadSpec, seed: u64) -> Row {
+/// Runs one baseline system through the shared [`BaselineNet`] driver:
+/// same builder, same seed derivations, same workload call order as the
+/// hand-rolled loops this replaced (and as `run_hypersub` above).
+fn run_baseline<N: BaselineNode>(
+    system: &'static str,
+    quick: bool,
+    spec: &WorkloadSpec,
+    seed: u64,
+    make: impl FnMut(ChordState) -> N,
+) -> Row {
     let (nodes, subs_per_node, n_events) = scale(quick);
-    let topo: Arc<dyn Topology> = Arc::new(KingLikeTopology::generate(
-        nodes,
-        SimTime::from_millis(180),
-        seed ^ 0x7090,
-    ));
-    let states = build_ring(&RingConfig::default(), topo.as_ref(), seed);
-    let ring_nodes: Vec<RendezvousNode> = states
-        .into_iter()
-        .map(|st| RendezvousNode::new(st, &spec.scheme_name))
-        .collect();
-    let mut sim: Sim<RendezvousNode, RdvMsg, BaselineWorld> =
-        Sim::new(topo, ring_nodes, BaselineWorld::default(), seed ^ 0x51ed);
+    let mut net: BaselineNet<N> = BaselineNetBuilder::new(nodes)
+        .seed(seed)
+        .king_like(SimTime::from_millis(180))
+        .build_with(make)
+        .expect("valid baseline configuration");
     let mut gen = WorkloadGen::new(spec.clone(), seed);
     for node in 0..nodes {
         for _ in 0..subs_per_node {
             let sub = gen.subscription();
-            sim.with_node_ctx(node, |n, ctx| n.subscribe(ctx, sub));
+            net.subscribe(node, sub).expect("subscriber index in range");
         }
     }
-    sim.run(u64::MAX / 2);
-    let install_msgs = sim.net().total_msgs();
-    let mut t = sim.time() + SimTime::from_secs(1);
-    for id in 0..n_events {
+    net.run_to_quiescence();
+    let install_msgs = net.net().total_msgs();
+    let mut t = net.time() + SimTime::from_secs(1);
+    for _ in 0..n_events {
         let node = gen.random_node(nodes);
-        let idx = sim.world().script.len();
-        let point = gen.event_point();
-        sim.world_mut().script.push(Some(Event {
-            id: id as u64 + 1,
-            point,
-        }));
-        sim.schedule_timer(
-            t,
-            node,
-            hypersub_baselines::rendezvous::TOKEN_PUBLISH_BASE + idx as u64,
-        );
+        net.schedule_publish(t, node, gen.event_point())
+            .expect("publisher index in range");
         t += gen.interarrival();
     }
-    sim.run(u64::MAX / 2);
-    let total = sim.world().oracle.len();
-    let events = sim.world().metrics.event_stats(total, sim.net());
-    let loads: Vec<u64> = (0..nodes).map(|i| sim.node(i).load()).collect();
-    summarize("Ferry-style rendezvous", install_msgs, loads, events)
+    net.run_to_quiescence();
+    summarize(system, install_msgs, net.node_loads(), net.event_stats())
+}
+
+fn run_rendezvous(quick: bool, spec: &WorkloadSpec, seed: u64) -> Row {
+    run_baseline("Ferry-style rendezvous", quick, spec, seed, |st| {
+        RendezvousNode::new(st, &spec.scheme_name)
+    })
 }
 
 fn run_attr_ring(quick: bool, spec: &WorkloadSpec, seed: u64) -> Row {
-    let (nodes, subs_per_node, n_events) = scale(quick);
-    let topo: Arc<dyn Topology> = Arc::new(KingLikeTopology::generate(
-        nodes,
-        SimTime::from_millis(180),
-        seed ^ 0x7090,
-    ));
-    let states = build_ring(&RingConfig::default(), topo.as_ref(), seed);
     let space = spec.scheme_def(0).space.clone();
-    let ring_nodes: Vec<AttrRingNode> = states
-        .into_iter()
-        .map(|st| AttrRingNode::new(st, &spec.scheme_name, space.clone()))
-        .collect();
-    let mut sim: Sim<AttrRingNode, AttrMsg, BaselineWorld> =
-        Sim::new(topo, ring_nodes, BaselineWorld::default(), seed ^ 0x51ed);
-    let mut gen = WorkloadGen::new(spec.clone(), seed);
-    for node in 0..nodes {
-        for _ in 0..subs_per_node {
-            let sub = gen.subscription();
-            sim.with_node_ctx(node, |n, ctx| n.subscribe(ctx, sub));
-        }
-    }
-    sim.run(u64::MAX / 2);
-    let install_msgs = sim.net().total_msgs();
-    let mut t = sim.time() + SimTime::from_secs(1);
-    for id in 0..n_events {
-        let node = gen.random_node(nodes);
-        let idx = sim.world().script.len();
-        let point = gen.event_point();
-        sim.world_mut().script.push(Some(Event {
-            id: id as u64 + 1,
-            point,
-        }));
-        sim.schedule_timer(
-            t,
-            node,
-            hypersub_baselines::attr_ring::TOKEN_PUBLISH_BASE + idx as u64,
-        );
-        t += gen.interarrival();
-    }
-    sim.run(u64::MAX / 2);
-    let total = sim.world().oracle.len();
-    let events = sim.world().metrics.event_stats(total, sim.net());
-    let loads: Vec<u64> = (0..nodes).map(|i| sim.node(i).load()).collect();
-    summarize("Attribute-ring", install_msgs, loads, events)
+    run_baseline("Attribute-ring", quick, spec, seed, |st| {
+        AttrRingNode::new(st, &spec.scheme_name, space.clone())
+    })
 }
 
 fn main() {

@@ -20,6 +20,7 @@
 //! rename is reported as a note, never a failure.
 
 use hypersub_core::report::Report;
+use std::collections::BTreeSet;
 use std::process::ExitCode;
 
 fn load(path: &str) -> Result<Report, String> {
@@ -100,6 +101,17 @@ fn counter_total(r: &Report, name: &str) -> u64 {
         .unwrap_or(0)
 }
 
+/// A counter's namespace: the prefix before the first dot (`retry` for
+/// `retry.attempts`).
+fn namespace(name: &str) -> &str {
+    name.split('.').next().unwrap_or(name)
+}
+
+/// All counter namespaces a report carries.
+fn namespaces(r: &Report) -> BTreeSet<&str> {
+    r.counters.iter().map(|(n, _)| namespace(n)).collect()
+}
+
 fn diff(pa: &str, a: &Report, pb: &str, b: &Report) -> ExitCode {
     println!("diff {pa} -> {pb}");
     delta_line("nodes", a.nodes, b.nodes);
@@ -115,7 +127,22 @@ fn diff(pa: &str, a: &Report, pb: &str, b: &Report) -> ExitCode {
     delta_line("net.total_msgs", a.net.total_msgs, b.net.total_msgs);
     delta_line("net.total_bytes", a.net.total_bytes, b.net.total_bytes);
     delta_line("net.dropped", a.net.dropped, b.net.dropped);
+    // Reports from different systems legitimately carry different
+    // counter namespaces (a baseline's `load.*` vs HyperSub's
+    // `index.*`). A counter whose whole namespace is absent from the
+    // other side is a note, never a zero-delta comparison — only
+    // counters in shared namespaces are diffed numerically (and there an
+    // individually missing counter still counts as zero).
+    let ns_a = namespaces(a);
+    let ns_b = namespaces(b);
     for (name, ca) in &a.counters {
+        if !ns_b.contains(namespace(name)) {
+            println!(
+                "  {name:<28} (only in {pa}: no `{}.*` counters in {pb})",
+                namespace(name)
+            );
+            continue;
+        }
         let cb = b
             .counters
             .iter()
@@ -126,12 +153,33 @@ fn diff(pa: &str, a: &Report, pb: &str, b: &Report) -> ExitCode {
     }
     for (name, _) in &b.counters {
         if !a.counters.iter().any(|(n, _)| n == name) {
-            println!("  {name:<28} (only in {pb})");
+            if ns_a.contains(namespace(name)) {
+                println!("  {name:<28} (only in {pb})");
+            } else {
+                println!(
+                    "  {name:<28} (only in {pb}: no `{}.*` counters in {pa})",
+                    namespace(name)
+                );
+            }
         }
     }
     // Self-healing activity on a pinned workload must be reproducible:
     // any repair.* total drifting between baseline and candidate is a
-    // build failure, digest match or not.
+    // build failure, digest match or not — but only when both reports
+    // carry the namespace. A system without a self-healing plane is a
+    // different system, not a regression.
+    let repair_comparable = ns_a.contains("repair") == ns_b.contains("repair");
+    if !repair_comparable {
+        let (with, without) = if ns_a.contains("repair") {
+            (pa, pb)
+        } else {
+            (pb, pa)
+        };
+        println!(
+            "  note: repair.* drift gate skipped — {with} has a \
+             self-healing plane, {without} does not"
+        );
+    }
     let mut repair: Vec<&str> = a
         .counters
         .iter()
@@ -141,10 +189,14 @@ fn diff(pa: &str, a: &Report, pb: &str, b: &Report) -> ExitCode {
         .collect();
     repair.sort_unstable();
     repair.dedup();
-    let drifted: Vec<&str> = repair
-        .into_iter()
-        .filter(|n| counter_total(a, n) != counter_total(b, n))
-        .collect();
+    let drifted: Vec<&str> = if repair_comparable {
+        repair
+            .into_iter()
+            .filter(|n| counter_total(a, n) != counter_total(b, n))
+            .collect()
+    } else {
+        Vec::new()
+    };
     // The matching index's duplication factor (registrations per indexed
     // entry) tracks how many times the average subscription is fanned
     // into the structure. It moves only when the index geometry or the

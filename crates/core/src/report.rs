@@ -13,7 +13,9 @@
 //! (`"0x…"`) because u64 exceeds the f64-safe integer range of JSON
 //! numbers.
 
+use crate::metrics::EventStats;
 use crate::sim::Network;
+use hypersub_simnet::NetStats;
 
 /// Aggregate delivery outcome over all published events.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -32,6 +34,26 @@ pub struct EventSummary {
     pub max_latency_us: u64,
 }
 
+impl EventSummary {
+    /// Aggregates per-event statistics into one summary. Shared by
+    /// [`Network::report`] and the non-HyperSub systems of the shoot-out
+    /// harness, so every system's report row is computed identically.
+    pub fn from_stats(stats: &[EventStats]) -> Self {
+        Self {
+            published: stats.len() as u64,
+            expected: stats.iter().map(|s| s.expected as u64).sum(),
+            delivered: stats.iter().map(|s| s.delivered as u64).sum(),
+            duplicates: stats.iter().map(|s| s.duplicates as u64).sum(),
+            max_hops: stats.iter().map(|s| s.max_hops as u64).max().unwrap_or(0),
+            max_latency_us: stats
+                .iter()
+                .map(|s| s.max_latency.as_micros())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
 /// Network-level totals (from `hypersub_simnet::NetStats`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetSummary {
@@ -47,6 +69,20 @@ pub struct NetSummary {
     pub partition_dropped: u64,
     /// Duplicate copies injected by fault duplication.
     pub duplicated: u64,
+}
+
+impl NetSummary {
+    /// Snapshots the global counters of a [`NetStats`].
+    pub fn from_net(n: &NetStats) -> Self {
+        Self {
+            total_msgs: n.total_msgs(),
+            total_bytes: n.total_bytes(),
+            dropped: n.dropped(),
+            fault_dropped: n.fault_dropped(),
+            partition_dropped: n.partition_dropped(),
+            duplicated: n.duplicated(),
+        }
+    }
 }
 
 /// One exported counter: a total plus the hottest node's share.
@@ -111,27 +147,8 @@ impl Network {
     /// Snapshots this run into a [`Report`].
     pub fn report(&self) -> Report {
         let stats = self.event_stats();
-        let events = EventSummary {
-            published: stats.len() as u64,
-            expected: stats.iter().map(|s| s.expected as u64).sum(),
-            delivered: stats.iter().map(|s| s.delivered as u64).sum(),
-            duplicates: stats.iter().map(|s| s.duplicates as u64).sum(),
-            max_hops: stats.iter().map(|s| s.max_hops as u64).max().unwrap_or(0),
-            max_latency_us: stats
-                .iter()
-                .map(|s| s.max_latency.as_micros())
-                .max()
-                .unwrap_or(0),
-        };
-        let n = self.net();
-        let net = NetSummary {
-            total_msgs: n.total_msgs(),
-            total_bytes: n.total_bytes(),
-            dropped: n.dropped(),
-            fault_dropped: n.fault_dropped(),
-            partition_dropped: n.partition_dropped(),
-            duplicated: n.duplicated(),
-        };
+        let events = EventSummary::from_stats(&stats);
+        let net = NetSummary::from_net(self.net());
         let proto = &self.metrics().proto;
         let mut counters: Vec<(String, CounterSummary)> = proto
             .counters()

@@ -9,10 +9,12 @@
 
 pub mod cdf;
 pub mod hist;
+pub mod load;
 pub mod summary;
 pub mod table;
 
 pub use cdf::Cdf;
 pub use hist::Histogram;
+pub use load::{gini, LoadDist};
 pub use summary::Summary;
 pub use table::Table;

@@ -1,0 +1,117 @@
+//! Per-node load distribution summaries for cross-system comparison.
+//!
+//! The shoot-out harness compares how rival pub/sub systems spread stored
+//! subscriptions across the ring. A full CDF is overkill for a table row,
+//! so [`LoadDist`] compresses a per-node load vector into the four numbers
+//! the comparison actually turns on: the median (typical node), the p99
+//! (tail node), the max (hottest node — the paper's §2 criticism of
+//! rendezvous designs in one number), and the Gini coefficient (overall
+//! concentration: 0 = perfectly even, → 1 = one node carries everything).
+
+use crate::cdf::Cdf;
+
+/// Gini coefficient of a sample set: mean absolute difference between all
+/// pairs, normalized by twice the mean. 0.0 for empty input, an all-zero
+/// vector, or perfectly uniform load; approaches 1.0 as a single sample
+/// dominates. Computed from the sorted samples in O(n log n) via the
+/// rank formula `G = (2·Σᵢ i·xᵢ)/(n·Σ xᵢ) − (n+1)/n` (i is 1-based).
+pub fn gini(samples: &[f64]) -> f64 {
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("load samples must not be NaN"));
+    let total: f64 = sorted.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, x)| (i + 1) as f64 * x)
+        .sum();
+    (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+}
+
+/// Four-number summary of a per-node load vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadDist {
+    /// Median per-node load.
+    pub p50: f64,
+    /// 99th-percentile per-node load.
+    pub p99: f64,
+    /// Hottest node's load.
+    pub max: f64,
+    /// Gini coefficient over all nodes (see [`gini`]).
+    pub gini: f64,
+}
+
+impl LoadDist {
+    /// Summarizes per-node loads (one entry per node, zeros included —
+    /// an idle node is part of the distribution).
+    pub fn from_loads(loads: &[u64]) -> Self {
+        let samples: Vec<f64> = loads.iter().map(|&l| l as f64).collect();
+        if samples.is_empty() {
+            return Self {
+                p50: 0.0,
+                p99: 0.0,
+                max: 0.0,
+                gini: 0.0,
+            };
+        }
+        let mut cdf = Cdf::from_samples(samples.iter().copied());
+        Self {
+            p50: cdf.quantile(0.50),
+            p99: cdf.quantile(0.99),
+            max: cdf.max(),
+            gini: gini(&samples),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gini_edge_cases() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0, 0.0]), 0.0);
+        assert!(gini(&[5.0, 5.0, 5.0, 5.0]).abs() < 1e-12, "uniform → 0");
+    }
+
+    #[test]
+    fn gini_concentration_ranks_correctly() {
+        let even = gini(&[1.0, 1.0, 1.0, 1.0]);
+        let skewed = gini(&[0.0, 0.0, 1.0, 3.0]);
+        let one_node = gini(&[0.0, 0.0, 0.0, 4.0]);
+        assert!(even < skewed && skewed < one_node);
+        // n samples, one nonzero: G = (n-1)/n.
+        assert!((one_node - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_is_scale_invariant() {
+        let a = gini(&[1.0, 2.0, 3.0, 4.0]);
+        let b = gini(&[10.0, 20.0, 30.0, 40.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_dist_summary() {
+        let loads: Vec<u64> = (0..100).collect();
+        let d = LoadDist::from_loads(&loads);
+        assert_eq!(d.max, 99.0);
+        assert!((d.p50 - 49.0).abs() <= 1.0);
+        assert!(d.p99 >= 97.0);
+        assert!(d.gini > 0.0 && d.gini < 1.0);
+    }
+
+    #[test]
+    fn load_dist_empty() {
+        let d = LoadDist::from_loads(&[]);
+        assert_eq!(d.max, 0.0);
+        assert_eq!(d.gini, 0.0);
+    }
+}

@@ -1,6 +1,7 @@
 #!/bin/bash
-# Regenerates every table and figure of the paper at full scale, then
-# runs the adversity scenario pack (full tier) with invariant verdicts.
+# Regenerates every table and figure of the paper at full scale, runs
+# the adversity scenario pack (full tier) with invariant verdicts, and
+# finishes with the five-system baseline shoot-out (full ladder).
 #
 # Resumable: each binary that completes drops a stamp in
 # results/.checkpoints/, and a rerun skips stamped steps, so a failed or
@@ -99,10 +100,34 @@ else
   echo "=== $b done $(date +%T) ==="
 fi
 
+# Baseline shoot-out, full ladder (8k and 32k rungs, seed 7): five
+# systems over one substrate, delivery-equivalence oracle enforced.
+# Emits the table to results/shootout.txt and the unified document to
+# results/SHOOTOUT.json; a failed oracle exits nonzero like any binary.
+b=shootout
+if [ -f "$STAMPS/$b.done" ]; then
+  echo "=== $b already done ($(cat "$STAMPS/$b.done")), skipping ==="
+  SKIPPED=$((SKIPPED + 1))
+else
+  echo "=== $b start $(date +%T) ==="
+  if { time $BIN/shootout run --all --seed 7 --out results/SHOOTOUT.json > results/$b.txt ; } 2> results/$b.time ; then
+    date -u +%Y-%m-%dT%H:%M:%SZ > "$STAMPS/$b.done"
+  else
+    echo "$b FAILED (see results/$b.txt)"
+    mkdir -p "$ARCHIVE"
+    ts=$(date -u +%Y%m%dT%H%M%SZ)
+    for f in results/$b.txt results/$b.time; do
+      [ -s "$f" ] && cp "$f" "$ARCHIVE/$(basename "$f").$ts"
+    done
+    FAILED+=("$b")
+  fi
+  echo "=== $b done $(date +%T) ==="
+fi
+
 if [ ${#FAILED[@]} -gt 0 ]; then
   echo "=== FAILED ==="
   printf '%s\n' "${FAILED[@]}"
-  echo "${#FAILED[@]} of 15 steps failed ($SKIPPED skipped as already done)"
+  echo "${#FAILED[@]} of 16 steps failed ($SKIPPED skipped as already done)"
   echo "rerun ./run_experiments.sh to resume from the last completed step"
   exit 1
 fi

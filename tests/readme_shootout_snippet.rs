@@ -1,0 +1,21 @@
+//! Compile-and-run check for the README shoot-out quickstart snippet:
+//! running all five systems on one rung, checking the equivalence
+//! oracle, and rendering the comparison artifacts.
+
+use hypersub_core::prelude::*;
+
+#[test]
+fn readme_shootout_snippet_runs() -> Result<()> {
+    use hypersub_shootout::{all_systems, render_table, run_rung, shootout_json};
+
+    // Five systems, one rung, one seed. Every system builds the same
+    // Chord substrate and consumes the same workload stream.
+    let outcome = run_rung(&all_systems(), (64, 3, 20), 7)?;
+    assert!(outcome.ok(), "equivalence failures: {:?}", outcome.failures);
+    println!("{}", render_table(&outcome));
+
+    // The same data as a diff-able, digest-pinned JSON document.
+    let doc = shootout_json(7, "quick", &[outcome]);
+    assert!(doc.contains("\"equivalence_ok\": true"));
+    Ok(())
+}
